@@ -1,0 +1,184 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation. Every BenchmarkTableN / BenchmarkFigN target wraps the
+// corresponding experiment runner (internal/bench) in its quick
+// configuration; `cmd/benchrunner` runs the same experiments at full
+// scale with printed output. Micro-benchmarks at the bottom measure
+// the enumeration core itself (the paper's Θ(|V_T|) amortized-cost
+// claim).
+package sparqlopt
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"sparqlopt/internal/bench"
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/opt"
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/workload/lubm"
+	"sparqlopt/internal/workload/randquery"
+)
+
+func quickBenchConfig() bench.Config {
+	return bench.Config{Out: io.Discard, Quick: true, Timeout: 2 * time.Second, Nodes: 4, Seed: 1}
+}
+
+// BenchmarkTable4_OptimizationTime regenerates paper Table IV.
+func BenchmarkTable4_OptimizationTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table4(quickBenchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5_ProcessingTime regenerates paper Table V.
+func BenchmarkTable5_ProcessingTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table5(quickBenchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6_PlanCost regenerates paper Table VI.
+func BenchmarkTable6_PlanCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table6(quickBenchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7_SearchSpace regenerates paper Table VII.
+func BenchmarkTable7_SearchSpace(b *testing.B) {
+	cfg := quickBenchConfig()
+	cfg.Timeout = 500 * time.Millisecond // N/A the exploding cells fast
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6a_WatDivOptTime regenerates paper Fig. 6 (both panels).
+func BenchmarkFig6a_WatDivOptTime(b *testing.B) {
+	cfg := quickBenchConfig()
+	cfg.Timeout = 500 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7_OptTimeBySize regenerates paper Figs. 7 and 8 in one
+// measurement pass.
+func BenchmarkFig7_OptTimeBySize(b *testing.B) {
+	cfg := quickBenchConfig()
+	cfg.Timeout = 500 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7And8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_PruningRules runs the TD-CMDP rule ablation
+// (DESIGN.md §6).
+func BenchmarkAblation_PruningRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Ablation(quickBenchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateCMDs measures the amortized cost per enumerated
+// connected multi-division on the four query classes (the paper's
+// Lemma 3: Θ(|V_T|) per cmd).
+func BenchmarkEnumerateCMDs(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		class querygraph.Class
+		n     int
+	}{
+		{"chain16", querygraph.Chain, 16},
+		{"cycle16", querygraph.Cycle, 16},
+		{"star12", querygraph.Star, 12},
+		{"tree12", querygraph.Tree, 12},
+		{"dense10", querygraph.Dense, 10},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			q, _ := randquery.Generate(tc.class, tc.n, 1)
+			jg, err := querygraph.NewJoinGraph(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				opt.ConnMultiDivision(jg, jg.All(), false, func(opt.CMD) bool {
+					total++
+					return true
+				})
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "cmds/op")
+		})
+	}
+}
+
+// BenchmarkOptimizeTDCMD measures full plan enumeration per algorithm
+// on a 12-pattern tree query.
+func BenchmarkOptimizeTDCMD(b *testing.B) {
+	for _, algo := range []opt.Algorithm{opt.TDCMD, opt.TDCMDP, opt.HGRTDCMD, opt.TDAuto} {
+		b.Run(algo.String(), func(b *testing.B) {
+			q, s := randquery.Generate(querygraph.Tree, 12, 3)
+			views, err := querygraph.Build(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est := mustEstimator(b, q, s)
+			in := &opt.Input{Query: q, Views: views, Est: est, Params: DefaultCostParams(), Method: partition.HashSO{}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Optimize(context.Background(), in, algo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLocalCheck measures maximal-local-query containment checks
+// (the paper's Θ(|V_Q|) claim, appendix A).
+func BenchmarkLocalCheck(b *testing.B) {
+	q := lubm.Query("L10")
+	g := querygraph.NewGraph(q)
+	checker := partition.NewLocalChecker(partition.HashSO{}, g)
+	set := bitset.Of(0, 1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.IsLocal(set)
+	}
+}
+
+// BenchmarkEndToEnd measures optimize+execute of a benchmark query on
+// the simulated cluster.
+func BenchmarkEndToEnd(b *testing.B) {
+	ds := lubm.Generate(lubm.Config{Universities: 1, Seed: 1, Compact: true})
+	sys, err := Open(ds, WithNodes(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := lubm.QueryText("L2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(context.Background(), q, TDAuto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command benchrunner regenerates the tables and figures of the
+// paper's evaluation section (§V).
+//
+// Usage:
+//
+//	benchrunner [flags]
+//
+//	-experiment  which artifact to regenerate:
+//	             table3 | table4 | table5 | table6 | table7 |
+//	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck | all
+//	             (default all; ablation is this repo's extra study of
+//	             the TD-CMDP pruning rules)
+//	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
+//	             timed-out cells print N/A)
+//	-quick       shrink datasets and instance counts for a fast pass
+//	-nodes       simulated cluster size (default 10, as in the paper)
+//	-seed        generator seed (default 1)
+//
+// Examples:
+//
+//	benchrunner -experiment table7 -quick
+//	benchrunner -experiment all -timeout 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sparqlopt/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table3|table4|table5|table6|table7|fig6|fig7|fig8|fig7and8|all")
+		timeout    = flag.Duration("timeout", 0, "per-run optimization cap (0 = paper's 600s, or 3s with -quick)")
+		quick      = flag.Bool("quick", false, "small datasets and instance counts")
+		nodes      = flag.Int("nodes", 0, "simulated cluster size (0 = 10)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory (figures only)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Out:     os.Stdout,
+		Timeout: *timeout,
+		Quick:   *quick,
+		Nodes:   *nodes,
+		Seed:    *seed,
+		CSVDir:  *csvDir,
+	}
+
+	experiments := map[string]func(bench.Config) error{
+		"table3":    bench.Table3,
+		"table4":    bench.Table4,
+		"table5":    bench.Table5,
+		"table6":    bench.Table6,
+		"table7":    bench.Table7,
+		"fig6":      bench.Fig6,
+		"fig7":      bench.Fig7,
+		"fig8":      bench.Fig8,
+		"fig7and8":  bench.Fig7And8,
+		"ablation":  bench.Ablation,
+		"costcheck": bench.CostModelCheck,
+		"qerror":    bench.QError,
+	}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror"}
+
+	run := func(name string) {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := experiments[name](cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := experiments[*experiment]; !ok {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(*experiment)
+}

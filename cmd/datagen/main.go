@@ -1,0 +1,102 @@
+// Command datagen generates the benchmark datasets (LUBM-style
+// universities or UniProt-style protein graphs) as N-Triples, plus the
+// benchmark query files, so they can be used with cmd/sparqlopt or any
+// other RDF tooling.
+//
+// Usage:
+//
+//	datagen -workload lubm -scale 7 -out lubm.nt [-queries querydir]
+//	datagen -workload uniprot -scale 3000 -out uniprot.nt
+//
+//	-workload  lubm | uniprot
+//	-scale     universities (lubm) or proteins (uniprot)
+//	-seed      generator seed (default 1)
+//	-out       output N-Triples file ("-" = stdout)
+//	-queries   also write the workload's benchmark queries (L1–L10 or
+//	           U1–U5) as .rq files into this directory
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sparqlopt/internal/ntriples"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/workload/lubm"
+	"sparqlopt/internal/workload/uniprot"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "lubm", "lubm | uniprot")
+		scale    = flag.Int("scale", 0, "universities (lubm) / proteins (uniprot); 0 = default")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "-", "output file (- = stdout)")
+		queries  = flag.String("queries", "", "directory for the benchmark .rq files")
+	)
+	flag.Parse()
+	if err := run(*workload, *scale, *seed, *out, *queries); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, scale int, seed int64, out, queries string) error {
+	var ds *rdf.Dataset
+	var names []string
+	var text func(string) string
+	switch workload {
+	case "lubm":
+		cfg := lubm.DefaultConfig()
+		cfg.Seed = seed
+		if scale > 0 {
+			cfg.Universities = scale
+		}
+		ds = lubm.Generate(cfg)
+		names, text = lubm.QueryNames, lubm.QueryText
+	case "uniprot":
+		cfg := uniprot.DefaultConfig()
+		cfg.Seed = seed
+		if scale > 0 {
+			cfg.Proteins = scale
+		}
+		ds = uniprot.Generate(cfg)
+		names, text = uniprot.QueryNames, uniprot.QueryText
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d triples\n", ds.Len())
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	if err := ntriples.Write(w, ds); err != nil {
+		return err
+	}
+	if queries == "" {
+		return nil
+	}
+	if err := os.MkdirAll(queries, 0o755); err != nil {
+		return err
+	}
+	for _, name := range names {
+		path := filepath.Join(queries, name+".rq")
+		if err := os.WriteFile(path, []byte(text(name)), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d query files to %s\n", len(names), queries)
+	return nil
+}

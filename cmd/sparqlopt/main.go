@@ -1,0 +1,313 @@
+// Command sparqlopt optimizes (and optionally executes) a SPARQL query
+// over a partitioned RDF dataset, printing the chosen plan, its
+// estimated cost and the search-space statistics.
+//
+// Usage:
+//
+//	sparqlopt -data data.nt -query query.rq [flags]
+//	sparqlopt -demo [flags]                 # built-in LUBM demo
+//
+//	-data       N-Triples file to load
+//	-query      file containing one SELECT query
+//	-algorithm  td-cmd | td-cmdp | hgr-td-cmd | td-auto | msc |
+//	            dp-bushy | binary-dp   (default td-auto)
+//	-partition  hash-so | 2f | 2fb | path-bmc | un-1hop (default hash-so)
+//	-nodes      simulated cluster size (default 10)
+//	-execute    run the plan on the simulated cluster and print results
+//	-explain    with -execute: print the per-operator execution trace
+//	-dot        print the plan in Graphviz dot syntax
+//	-repl       interactive mode: read ';'-terminated queries from stdin
+//	-timeout    optimization cap (default 600s)
+//	-demo       use a generated LUBM dataset and query L8
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sparqlopt/internal/baseline"
+	"sparqlopt/internal/cost"
+	"sparqlopt/internal/engine"
+	"sparqlopt/internal/opt"
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
+	"sparqlopt/internal/workload/lubm"
+
+	"sparqlopt/internal/ntriples"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "N-Triples file")
+		queryPath = flag.String("query", "", "SPARQL query file")
+		algorithm = flag.String("algorithm", "td-auto", "optimization algorithm")
+		partName  = flag.String("partition", "hash-so", "data partitioning method")
+		nodes     = flag.Int("nodes", 10, "simulated cluster size")
+		execute   = flag.Bool("execute", false, "execute the plan")
+		explain   = flag.Bool("explain", false, "with -execute: print the per-operator execution trace")
+		dot       = flag.Bool("dot", false, "print the plan in Graphviz dot syntax")
+		timeout   = flag.Duration("timeout", 600*time.Second, "optimization cap")
+		demo      = flag.Bool("demo", false, "run the built-in LUBM demo")
+		repl      = flag.Bool("repl", false, "interactive mode: read queries from stdin (use with -data or -demo)")
+	)
+	flag.Parse()
+	if err := run(runConfig{
+		dataPath: *dataPath, queryPath: *queryPath, algorithm: *algorithm,
+		partName: *partName, nodes: *nodes, execute: *execute,
+		explain: *explain, dot: *dot, timeout: *timeout, demo: *demo,
+		repl: *repl,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	dataPath, queryPath, algorithm, partName string
+	nodes                                    int
+	execute, explain, dot, demo, repl        bool
+	timeout                                  time.Duration
+}
+
+func run(cfg runConfig) error {
+	dataPath, queryPath := cfg.dataPath, cfg.queryPath
+	algorithm, partName := cfg.algorithm, cfg.partName
+	nodes, execute, timeout, demo := cfg.nodes, cfg.execute, cfg.timeout, cfg.demo
+	var ds *rdf.Dataset
+	var q *sparql.Query
+	switch {
+	case demo:
+		fmt.Println("generating LUBM demo dataset (2 universities)...")
+		ds = lubm.Generate(lubm.Config{Universities: 2, Seed: 1, Compact: true})
+		q = lubm.Query("L8")
+	case cfg.repl && dataPath != "":
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ds, err = ntriples.Read(f)
+		if err != nil {
+			return err
+		}
+	case dataPath != "" && queryPath != "":
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ds, err = ntriples.Read(f)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(queryPath)
+		if err != nil {
+			return err
+		}
+		q, err = sparql.Parse(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -data and -query, or -demo, or -repl -data")
+	}
+	method, err := partition.ByName(partName)
+	if err != nil {
+		return err
+	}
+	if cfg.repl {
+		return replLoop(ds, method, nodes, algorithm, timeout)
+	}
+	fmt.Printf("dataset: %d triples; query: %d triple patterns\n", ds.Len(), len(q.Patterns))
+
+	views, err := querygraph.Build(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query class: %s; join variables: %d; max degree: %d\n",
+		views.Join.Classify(), views.Join.NumJoinVars(), views.Join.MaxVarDegree())
+
+	st, err := stats.Collect(ds, q)
+	if err != nil {
+		return err
+	}
+	est, err := stats.NewEstimator(q, st)
+	if err != nil {
+		return err
+	}
+	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default}
+	in.Params.Nodes = nodes
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := optimize(ctx, in, algorithm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimized with %s in %v\n", algorithm, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("search space: %d join operators, %d plans costed, %d subqueries\n",
+		res.Counter.CMDs, res.Counter.Plans, res.Counter.Subqueries)
+	fmt.Printf("estimated plan cost: %.4g\n\nplan:\n%s", res.Plan.Cost, res.Plan.Format())
+	if cfg.dot {
+		fmt.Printf("\n%s", res.Plan.DOT())
+	}
+
+	if !execute {
+		return nil
+	}
+	fmt.Printf("\npartitioning with %s onto %d nodes...\n", method.Name(), nodes)
+	placement, err := method.Partition(ds, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replication factor: %.2f\n", placement.ReplicationFactor(ds.Len()))
+	e := engine.New(ds.Dict, placement)
+	start = time.Now()
+	out, err := e.Execute(context.Background(), res.Plan, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("executed in %v: %d distinct results (scanned %d, transferred %d, joined %d)\n",
+		time.Since(start).Round(time.Microsecond), len(out.Rows),
+		out.Metrics.ScannedTriples, out.Metrics.TransferredRows, out.Metrics.JoinedRows)
+	if cfg.explain && out.Trace != nil {
+		fmt.Printf("\nexecution trace:\n%s", out.Trace.Format())
+	}
+	limit := len(out.Rows)
+	if limit > 10 {
+		limit = 10
+	}
+	for i := 0; i < limit; i++ {
+		for j, id := range out.Rows[i] {
+			if j > 0 {
+				fmt.Print("\t")
+			}
+			fmt.Print(ds.Dict.Term(id))
+		}
+		fmt.Println()
+	}
+	if len(out.Rows) > limit {
+		fmt.Printf("... (%d more)\n", len(out.Rows)-limit)
+	}
+	return nil
+}
+
+func optimize(ctx context.Context, in *opt.Input, algorithm string) (*opt.Result, error) {
+	switch algorithm {
+	case "td-cmd":
+		return opt.Optimize(ctx, in, opt.TDCMD)
+	case "td-cmdp":
+		return opt.Optimize(ctx, in, opt.TDCMDP)
+	case "hgr-td-cmd":
+		return opt.Optimize(ctx, in, opt.HGRTDCMD)
+	case "td-auto":
+		return opt.Optimize(ctx, in, opt.TDAuto)
+	case "msc":
+		return baseline.MSC(ctx, in)
+	case "dp-bushy":
+		return baseline.DPBushy(ctx, in)
+	case "binary-dp":
+		return baseline.BinaryDP(ctx, in)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", algorithm)
+}
+
+// replLoop reads SPARQL queries from stdin (terminated by a line
+// containing just ';'), optimizing and executing each against the
+// partitioned dataset.
+func replLoop(ds *rdf.Dataset, method partition.Method, nodes int, algorithm string, timeout time.Duration) error {
+	fmt.Printf("dataset: %d triples; partitioning with %s onto %d nodes...\n", ds.Len(), method.Name(), nodes)
+	placement, err := method.Partition(ds, nodes)
+	if err != nil {
+		return err
+	}
+	e := engine.New(ds.Dict, placement)
+	fmt.Println("enter a SPARQL query followed by a line containing only ';' (ctrl-D to quit):")
+	sc := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("sparql> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) != ";" {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			continue
+		}
+		src := buf.String()
+		buf.Reset()
+		if strings.TrimSpace(src) == "" {
+			prompt()
+			continue
+		}
+		if err := replOne(ds, e, method, nodes, algorithm, timeout, src); err != nil {
+			fmt.Println("error:", err)
+		}
+		prompt()
+	}
+	fmt.Println()
+	return sc.Err()
+}
+
+func replOne(ds *rdf.Dataset, e *engine.Engine, method partition.Method, nodes int, algorithm string, timeout time.Duration, src string) error {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return err
+	}
+	views, err := querygraph.Build(q)
+	if err != nil {
+		return err
+	}
+	st, err := stats.Collect(ds, q)
+	if err != nil {
+		return err
+	}
+	est, err := stats.NewEstimator(q, st)
+	if err != nil {
+		return err
+	}
+	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default}
+	in.Params.Nodes = nodes
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := optimize(ctx, in, algorithm)
+	if err != nil {
+		return err
+	}
+	optDur := time.Since(start)
+	start = time.Now()
+	out, err := e.Execute(context.Background(), res.Plan, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d results in %v (optimized in %v, cost %.4g, %d rows moved)\n",
+		len(out.Rows), time.Since(start).Round(time.Microsecond),
+		optDur.Round(time.Microsecond), res.Plan.Cost, out.Metrics.TransferredRows)
+	limit := len(out.Rows)
+	if limit > 20 {
+		limit = 20
+	}
+	for i := 0; i < limit; i++ {
+		for j, id := range out.Rows[i] {
+			if j > 0 {
+				fmt.Print("\t")
+			}
+			fmt.Print(ds.Dict.Term(id))
+		}
+		fmt.Println()
+	}
+	if len(out.Rows) > limit {
+		fmt.Printf("... (%d more)\n", len(out.Rows)-limit)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// LUBM workload: generate a university dataset, run every benchmark
+// query (L1–L10) under three partitioning methods, and compare
+// optimization time, plan cost, execution time and network traffic —
+// a miniature of the paper's Tables IV–VI.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sparqlopt"
+	"sparqlopt/internal/workload/lubm"
+)
+
+func main() {
+	universities := flag.Int("universities", 3, "LUBM scale factor")
+	nodes := flag.Int("nodes", 4, "simulated cluster size")
+	flag.Parse()
+
+	fmt.Printf("generating LUBM-like data (%d universities)...\n", *universities)
+	ds := lubm.Generate(lubm.Config{Universities: *universities, Seed: 1})
+	fmt.Printf("%d triples\n\n", ds.Len())
+
+	for _, methodName := range []string{"hash-so", "2f", "path-bmc"} {
+		m, err := sparqlopt.PartitionMethod(methodName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := sparqlopt.Open(ds, sparqlopt.WithMethod(m), sparqlopt.WithNodes(*nodes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s partitioning (replication %.2fx) ===\n",
+			m.Name(), sys.ReplicationFactor())
+		fmt.Printf("%-5s %12s %12s %12s %10s %8s\n",
+			"query", "opt time", "plan cost", "exec time", "results", "moved")
+		for _, name := range lubm.QueryNames {
+			q := lubm.Query(name)
+			start := time.Now()
+			res, err := sys.OptimizeQuery(context.Background(), q, sparqlopt.TDAuto)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			optTime := time.Since(start)
+			start = time.Now()
+			out, err := sys.Execute(context.Background(), res.Plan, q)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Printf("%-5s %12v %12.4g %12v %10d %8d\n",
+				name, optTime.Round(time.Microsecond), res.Plan.Cost,
+				time.Since(start).Round(time.Microsecond), len(out.Rows),
+				out.Metrics.TransferredRows)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how path partitioning drives the 'moved' column to (near) zero:")
+	fmt.Println("the benchmark queries become local queries (paper §V-B); only the")
+	fmt.Println("few queries anchored at mid-path constants keep a distributed join.")
+}

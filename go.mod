@@ -1,0 +1,3 @@
+module sparqlopt
+
+go 1.22

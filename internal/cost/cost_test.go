@@ -1,0 +1,110 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDefaultParamsMatchTable2(t *testing.T) {
+	p := Default
+	if p.Alpha != 0.02 || p.BetaB != 0.05 || p.BetaR != 0.1 ||
+		p.GammaL != 0.004 || p.GammaB != 0.008 || p.GammaR != 0.005 || p.Nodes != 10 {
+		t.Errorf("Default = %+v does not match Table II", p)
+	}
+}
+
+func TestScan(t *testing.T) {
+	if got := Default.Scan(100); !almost(got, 2) {
+		t.Errorf("Scan(100) = %v, want 2", got)
+	}
+}
+
+func TestLocalJoinFormula(t *testing.T) {
+	// C = α·Σ|SQ| + γ_L·|out|; no transfer (Table I row 1).
+	in := []float64{100, 200, 50}
+	got := Default.Local(in, 1000)
+	want := 0.02*350 + 0.004*1000
+	if !almost(got, want) {
+		t.Errorf("Local = %v, want %v", got, want)
+	}
+}
+
+func TestBroadcastJoinFormula(t *testing.T) {
+	// C = α·Σ + β_B·(Σ − max)·n + γ_B·out (Table I row 2).
+	in := []float64{100, 200, 50}
+	got := Default.Broadcast(in, 1000)
+	want := 0.02*350 + 0.05*(350-200)*10 + 0.008*1000
+	if !almost(got, want) {
+		t.Errorf("Broadcast = %v, want %v", got, want)
+	}
+}
+
+func TestRepartitionJoinFormula(t *testing.T) {
+	// C = α·Σ + β_R·Σ + γ_R·out (Table I row 3).
+	in := []float64{100, 200, 50}
+	got := Default.Repartition(in, 1000)
+	want := 0.02*350 + 0.1*350 + 0.005*1000
+	if !almost(got, want) {
+		t.Errorf("Repartition = %v, want %v", got, want)
+	}
+}
+
+func TestBroadcastSingleLargeInputCheapTransfer(t *testing.T) {
+	// Broadcasting nothing (one input dominates, other side empty sums)
+	// still pays IO and join costs.
+	got := Default.Broadcast([]float64{500}, 100)
+	want := 0.02*500 + 0 + 0.008*100
+	if !almost(got, want) {
+		t.Errorf("Broadcast single input = %v, want %v", got, want)
+	}
+}
+
+// Property: local join is never more expensive than broadcast or
+// repartition of the same inputs (with Default parameters the γ_L is
+// the smallest γ and local has no transfer term).
+func TestQuickLocalCheapest(t *testing.T) {
+	f := func(a, b, c uint16, out uint16) bool {
+		in := []float64{float64(a), float64(b), float64(c)}
+		o := float64(out)
+		l := Default.Local(in, o)
+		return l <= Default.Broadcast(in, o)+1e-9 && l <= Default.Repartition(in, o)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: costs are monotone in the output cardinality.
+func TestQuickMonotoneInOutput(t *testing.T) {
+	f := func(a, b uint16, o1, o2 uint16) bool {
+		lo, hi := float64(o1), float64(o2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		in := []float64{float64(a), float64(b)}
+		return Default.Local(in, lo) <= Default.Local(in, hi)+1e-9 &&
+			Default.Broadcast(in, lo) <= Default.Broadcast(in, hi)+1e-9 &&
+			Default.Repartition(in, lo) <= Default.Repartition(in, hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: broadcast transfer grows with the cluster size.
+func TestQuickBroadcastGrowsWithNodes(t *testing.T) {
+	f := func(a, b uint16) bool {
+		in := []float64{float64(a) + 1, float64(b) + 2}
+		small := Default
+		small.Nodes = 2
+		big := Default
+		big.Nodes = 20
+		return small.Broadcast(in, 10) <= big.Broadcast(in, 10)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

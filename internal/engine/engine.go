@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/plan"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+)
+
+// Metrics reports what one plan execution did.
+type Metrics struct {
+	// ScannedTriples counts index postings touched by leaf scans.
+	ScannedTriples int64
+	// TransferredRows counts rows moved across node boundaries: every
+	// (row, receiving node) pair of broadcast gathers/replications and
+	// every repartitioned row landing on a different node.
+	TransferredRows int64
+	// JoinedRows counts rows produced by all join operators.
+	JoinedRows int64
+}
+
+// Result is the outcome of a query execution.
+type Result struct {
+	// Vars names the output columns.
+	Vars []string
+	// Rows holds the distinct result bindings, lexicographically sorted.
+	Rows [][]rdf.TermID
+	// Metrics instruments the run (zero for the reference executor).
+	Metrics Metrics
+	// Trace is the per-operator execution profile (EXPLAIN ANALYZE),
+	// mirroring the plan tree.
+	Trace *TraceNode
+}
+
+// Engine executes plans over a partitioned dataset, one goroutine per
+// simulated computing node.
+type Engine struct {
+	dict   *rdf.Dict
+	stores []*store
+}
+
+// New builds an engine over the placement produced by a partitioning
+// method. The dictionary must be the one that encoded the triples.
+func New(dict *rdf.Dict, placement *partition.Placement) *Engine {
+	e := &Engine{dict: dict, stores: make([]*store, placement.Nodes)}
+	for i, ts := range placement.Triples {
+		e.stores[i] = newStore(ts)
+	}
+	return e
+}
+
+// Nodes returns the cluster size.
+func (e *Engine) Nodes() int { return len(e.stores) }
+
+// Execute runs the plan for q and returns the distinct results
+// projected onto q's SELECT variables (all variables when SELECT *).
+func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: invalid plan: %w", err)
+	}
+	var m Metrics
+	parts, trace, err := e.eval(ctx, p, q, &m)
+	if err != nil {
+		return nil, err
+	}
+	// Gather the distributed result and deduplicate (set semantics;
+	// this also collapses replication-induced duplicates).
+	final := &Relation{Vars: parts[0].Vars}
+	for _, r := range parts {
+		final.Rows = append(final.Rows, r.Rows...)
+	}
+	final.dedup()
+	out, err := projectResult(final, q)
+	if err != nil {
+		return nil, err
+	}
+	out.Metrics = m
+	out.Trace = trace
+	return out, nil
+}
+
+func projectResult(rel *Relation, q *sparql.Query) (*Result, error) {
+	vars := q.Select
+	if len(vars) == 0 {
+		vars = q.Vars()
+	}
+	for _, v := range vars {
+		if rel.colIndex(v) < 0 {
+			return nil, fmt.Errorf("engine: projected variable ?%s not bound by the query", v)
+		}
+	}
+	proj := rel.project(vars)
+	return &Result{Vars: proj.Vars, Rows: proj.Rows}, nil
+}
+
+// eval executes p and returns one relation per node (the distributed
+// intermediate result of paper §II-D) plus the operator's trace.
+func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics) ([]*Relation, *TraceNode, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var out []*Relation
+	var err error
+	tr := newTrace(p)
+	start := time.Now()
+	switch p.Alg {
+	case plan.Scan:
+		out = e.scan(p.TP, q, m, tr)
+	case plan.LocalJoin:
+		out, err = e.localJoin(ctx, p, q, m, tr, &start)
+	case plan.BroadcastJoin:
+		out, err = e.broadcastJoin(ctx, p, q, m, tr, &start)
+	case plan.RepartitionJoin:
+		out, err = e.repartitionJoin(ctx, p, q, m, tr, &start)
+	default:
+		err = fmt.Errorf("engine: unknown operator %v", p.Alg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.Elapsed = time.Since(start)
+	tr.record(out)
+	return out, tr, nil
+}
+
+// perNode runs f concurrently for every node.
+func (e *Engine) perNode(f func(node int)) {
+	var wg sync.WaitGroup
+	for i := range e.stores {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			f(node)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (e *Engine) scan(tp int, q *sparql.Query, m *Metrics, tr *TraceNode) []*Relation {
+	bp := bindPattern(e.dict, q.Patterns[tp])
+	out := make([]*Relation, len(e.stores))
+	var scanned int64
+	e.perNode(func(node int) {
+		local := bp
+		var count int64
+		local.scanned = &count
+		out[node] = e.stores[node].match(local)
+		atomic.AddInt64(&scanned, count)
+	})
+	m.ScannedTriples += scanned
+	return out
+}
+
+// evalChildren evaluates all children, preserving order, attaching
+// their traces to tr and restarting the parent's own-time clock.
+func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([][]*Relation, error) {
+	children := make([][]*Relation, len(p.Children))
+	for i, ch := range p.Children {
+		r, chTrace, err := e.eval(ctx, ch, q, m)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = r
+		tr.Children = append(tr.Children, chTrace)
+	}
+	*start = time.Now()
+	return children, nil
+}
+
+// localJoin joins the children fragments node by node with no
+// communication; the partitioning guarantees every complete match is
+// co-located (Definition 2).
+func (e *Engine) localJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+	children, err := e.evalChildren(ctx, p, q, m, tr, start)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Relation, len(e.stores))
+	var joined int64
+	e.perNode(func(node int) {
+		rels := make([]*Relation, len(children))
+		for i := range children {
+			rels[i] = children[i][node]
+		}
+		out[node] = joinAll(rels)
+		atomic.AddInt64(&joined, int64(len(out[node].Rows)))
+	})
+	m.JoinedRows += joined
+	return out, nil
+}
+
+// broadcastJoin gathers the k−1 smaller inputs, replicates them to
+// every node, and joins them against the largest input in place.
+func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+	children, err := e.evalChildren(ctx, p, q, m, tr, start)
+	if err != nil {
+		return nil, err
+	}
+	// Find the largest input by total row count.
+	largest, largestSize := 0, -1
+	sizes := make([]int, len(children))
+	for i, frags := range children {
+		for _, f := range frags {
+			sizes[i] += len(f.Rows)
+		}
+		if sizes[i] > largestSize {
+			largest, largestSize = i, sizes[i]
+		}
+	}
+	// Gather and dedupe each small input (replicated fragments may
+	// hold the same row on several nodes).
+	gathered := make([]*Relation, 0, len(children)-1)
+	for i, frags := range children {
+		if i == largest {
+			continue
+		}
+		g := &Relation{Vars: frags[0].Vars}
+		for _, f := range frags {
+			g.Rows = append(g.Rows, f.Rows...)
+		}
+		g.dedup()
+		// Every row ships to every node holding the largest input.
+		moved := int64(len(g.Rows)) * int64(len(e.stores))
+		m.TransferredRows += moved
+		tr.TransferredRows += moved
+		gathered = append(gathered, g)
+	}
+	out := make([]*Relation, len(e.stores))
+	var joined int64
+	e.perNode(func(node int) {
+		rels := make([]*Relation, 0, len(children))
+		rels = append(rels, children[largest][node])
+		rels = append(rels, gathered...)
+		out[node] = joinAll(rels)
+		atomic.AddInt64(&joined, int64(len(out[node].Rows)))
+	})
+	m.JoinedRows += joined
+	return out, nil
+}
+
+// repartitionJoin reshuffles every input on the shared join variable
+// and joins per node. Rows arriving at a node are deduplicated first,
+// collapsing replicas shipped from different source nodes.
+func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+	children, err := e.evalChildren(ctx, p, q, m, tr, start)
+	if err != nil {
+		return nil, err
+	}
+	n := len(e.stores)
+	shuffled := make([][]*Relation, len(children)) // [child][node]
+	for i, frags := range children {
+		col := frags[0].colIndex(p.JoinVar)
+		if col < 0 {
+			return nil, fmt.Errorf("engine: repartition variable ?%s missing from input %d", p.JoinVar, i)
+		}
+		buckets := make([]*Relation, n)
+		for b := range buckets {
+			buckets[b] = &Relation{Vars: frags[0].Vars}
+		}
+		for src, f := range frags {
+			for _, row := range f.Rows {
+				dst := int(uint64(row[col]) % uint64(n))
+				buckets[dst].Rows = append(buckets[dst].Rows, row)
+				if dst != src {
+					m.TransferredRows++
+					tr.TransferredRows++
+				}
+			}
+		}
+		for b := range buckets {
+			buckets[b].dedup()
+		}
+		shuffled[i] = buckets
+	}
+	out := make([]*Relation, n)
+	var joined int64
+	e.perNode(func(node int) {
+		rels := make([]*Relation, len(children))
+		for i := range children {
+			rels[i] = shuffled[i][node]
+		}
+		out[node] = joinAll(rels)
+		atomic.AddInt64(&joined, int64(len(out[node].Rows)))
+	})
+	m.JoinedRows += joined
+	return out, nil
+}
+
+// Reference executes q on a single node over the full dataset by
+// folding pattern matches left to right — the ground truth the
+// distributed engine is tested against.
+func Reference(ds *rdf.Dataset, q *sparql.Query) (*Result, error) {
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("engine: empty query")
+	}
+	st := newStore(ds.Triples)
+	var cur *Relation
+	for _, tp := range q.Patterns {
+		rel := st.match(bindPattern(ds.Dict, tp))
+		if cur == nil {
+			cur = rel
+		} else {
+			cur = hashJoin(cur, rel)
+		}
+	}
+	cur.dedup()
+	return projectResult(cur, q)
+}

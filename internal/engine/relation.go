@@ -1,0 +1,207 @@
+// Package engine executes physical plans on a simulated shared-nothing
+// cluster: every computing node holds the fragment a partitioning
+// method assigned to it, leaf scans and local joins run per node
+// without communication, and the two distributed join algorithms of
+// paper §II-D — k-way broadcast join and k-way repartition join — move
+// intermediate results between nodes (their volume is reported in the
+// execution metrics).
+//
+// Query results follow set semantics: the engine deduplicates rows at
+// the root, which also absorbs the replication that partitioning
+// methods such as Hash-SO and 2f introduce. A single-node reference
+// executor provides the ground truth for integration tests.
+package engine
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"sparqlopt/internal/rdf"
+)
+
+// Relation is a set of variable bindings: Rows[i][j] binds Vars[j].
+type Relation struct {
+	Vars []string
+	Rows [][]rdf.TermID
+}
+
+// colIndex returns the column of v, or -1.
+func (r *Relation) colIndex(v string) int {
+	for i, name := range r.Vars {
+		if name == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharedVars returns the variables present in both relations, in a's
+// column order.
+func sharedVars(a, b *Relation) []string {
+	var out []string
+	for _, v := range a.Vars {
+		if b.colIndex(v) >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rowKey encodes the values of the given columns for hashing.
+func rowKey(row []rdf.TermID, cols []int) string {
+	buf := make([]byte, 4*len(cols))
+	for i, c := range cols {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(row[c]))
+	}
+	return string(buf)
+}
+
+// hashJoin joins two relations on all their shared variables (natural
+// join). With no shared variables it degrades to the cross product.
+func hashJoin(a, b *Relation) *Relation {
+	shared := sharedVars(a, b)
+	aCols := make([]int, len(shared))
+	bCols := make([]int, len(shared))
+	for i, v := range shared {
+		aCols[i] = a.colIndex(v)
+		bCols[i] = b.colIndex(v)
+	}
+	// Output schema: a's vars then b's non-shared vars.
+	var bExtra []int
+	out := &Relation{Vars: append([]string{}, a.Vars...)}
+	for j, v := range b.Vars {
+		if a.colIndex(v) < 0 {
+			out.Vars = append(out.Vars, v)
+			bExtra = append(bExtra, j)
+		}
+	}
+	// Build on the smaller side.
+	if len(a.Rows) > len(b.Rows) {
+		index := make(map[string][][]rdf.TermID, len(b.Rows))
+		for _, row := range b.Rows {
+			k := rowKey(row, bCols)
+			index[k] = append(index[k], row)
+		}
+		for _, arow := range a.Rows {
+			for _, brow := range index[rowKey(arow, aCols)] {
+				out.Rows = append(out.Rows, mergeRows(arow, brow, bExtra))
+			}
+		}
+		return out
+	}
+	index := make(map[string][][]rdf.TermID, len(a.Rows))
+	for _, row := range a.Rows {
+		k := rowKey(row, aCols)
+		index[k] = append(index[k], row)
+	}
+	for _, brow := range b.Rows {
+		for _, arow := range index[rowKey(brow, bCols)] {
+			out.Rows = append(out.Rows, mergeRows(arow, brow, bExtra))
+		}
+	}
+	return out
+}
+
+func mergeRows(arow, brow []rdf.TermID, bExtra []int) []rdf.TermID {
+	row := make([]rdf.TermID, 0, len(arow)+len(bExtra))
+	row = append(row, arow...)
+	for _, j := range bExtra {
+		row = append(row, brow[j])
+	}
+	return row
+}
+
+// joinAll folds a multiway natural join, greedily preferring inputs
+// that share a variable with the accumulated result so intermediate
+// cross products are avoided whenever the join graph allows.
+func joinAll(rels []*Relation) *Relation {
+	cur := rels[0]
+	used := make([]bool, len(rels))
+	used[0] = true
+	for count := 1; count < len(rels); count++ {
+		pick := -1
+		for i, r := range rels {
+			if !used[i] && len(sharedVars(cur, r)) > 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			for i := range rels {
+				if !used[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		cur = hashJoin(cur, rels[pick])
+		used[pick] = true
+	}
+	return cur
+}
+
+// dedup removes duplicate rows in place (order is canonicalized).
+func (r *Relation) dedup() {
+	all := make([]int, len(r.Vars))
+	for i := range all {
+		all[i] = i
+	}
+	seen := make(map[string]struct{}, len(r.Rows))
+	out := r.Rows[:0]
+	for _, row := range r.Rows {
+		k := rowKey(row, all)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	r.Rows = out
+	r.sortRows()
+}
+
+// sortRows orders rows lexicographically for deterministic output.
+func (r *Relation) sortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// project returns the relation restricted to the named variables,
+// deduplicated. Unknown variables are rejected by the caller.
+func (r *Relation) project(vars []string) *Relation {
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		cols[i] = r.colIndex(v)
+	}
+	out := &Relation{Vars: append([]string{}, vars...)}
+	seen := map[string]struct{}{}
+	for _, row := range r.Rows {
+		nrow := make([]rdf.TermID, len(cols))
+		for i, c := range cols {
+			nrow[i] = row[c]
+		}
+		k := rowKey(nrow, seqInts(len(cols)))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, nrow)
+	}
+	out.sortRows()
+	return out
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+)
+
+// store is one node's local triple fragment with hash indexes on each
+// position, standing in for the per-node RDF-3X instance of the
+// paper's prototype.
+type store struct {
+	triples []rdf.Triple
+	byS     map[rdf.TermID][]int32
+	byP     map[rdf.TermID][]int32
+	byO     map[rdf.TermID][]int32
+}
+
+func newStore(triples []rdf.Triple) *store {
+	s := &store{
+		triples: triples,
+		byS:     make(map[rdf.TermID][]int32),
+		byP:     make(map[rdf.TermID][]int32),
+		byO:     make(map[rdf.TermID][]int32),
+	}
+	for i, t := range triples {
+		s.byS[t.S] = append(s.byS[t.S], int32(i))
+		s.byP[t.P] = append(s.byP[t.P], int32(i))
+		s.byO[t.O] = append(s.byO[t.O], int32(i))
+	}
+	return s
+}
+
+// boundPattern is a triple pattern with constants resolved to IDs.
+type boundPattern struct {
+	vars                   []string // output schema
+	sConst, pConst, oConst bool
+	s, p, o                rdf.TermID
+	sVar, pVar, oVar       int // column index for each variable position, -1 if constant
+	unknown                bool
+	scanned                *int64 // optional counter of triples touched
+}
+
+// bindPattern resolves constants against the dictionary. A constant
+// missing from the dictionary matches nothing (unknown=true).
+func bindPattern(dict *rdf.Dict, tp sparql.TriplePattern) boundPattern {
+	bp := boundPattern{sVar: -1, pVar: -1, oVar: -1}
+	col := func(name string) int {
+		for i, v := range bp.vars {
+			if v == name {
+				return i
+			}
+		}
+		bp.vars = append(bp.vars, name)
+		return len(bp.vars) - 1
+	}
+	resolve := func(t sparql.Term) (rdf.TermID, bool) {
+		id, ok := dict.Lookup(t.Value)
+		if !ok {
+			bp.unknown = true
+		}
+		return id, true
+	}
+	if tp.S.IsVar() {
+		bp.sVar = col(tp.S.Value)
+	} else {
+		bp.s, bp.sConst = resolve(tp.S)
+	}
+	if tp.P.IsVar() {
+		bp.pVar = col(tp.P.Value)
+	} else {
+		bp.p, bp.pConst = resolve(tp.P)
+	}
+	if tp.O.IsVar() {
+		bp.oVar = col(tp.O.Value)
+	} else {
+		bp.o, bp.oConst = resolve(tp.O)
+	}
+	return bp
+}
+
+// match scans the store for the pattern, using the most selective
+// available index.
+func (s *store) match(bp boundPattern) *Relation {
+	rel := &Relation{Vars: bp.vars}
+	if bp.unknown {
+		return rel
+	}
+	candidates := s.candidates(bp)
+	if bp.scanned != nil {
+		*bp.scanned += int64(len(candidates))
+	}
+	for _, i := range candidates {
+		t := s.triples[i]
+		if bp.sConst && t.S != bp.s {
+			continue
+		}
+		if bp.pConst && t.P != bp.p {
+			continue
+		}
+		if bp.oConst && t.O != bp.o {
+			continue
+		}
+		row := make([]rdf.TermID, len(bp.vars))
+		if fillRow(row, bp, t) {
+			rel.Rows = append(rel.Rows, row)
+		}
+	}
+	return rel
+}
+
+// fillRow writes the variable positions of t into row; a repeated
+// variable (e.g. ?x <p> ?x) must bind equal values. It reports whether
+// the triple is a match.
+func fillRow(row []rdf.TermID, bp boundPattern, t rdf.Triple) bool {
+	filledCols := make([]bool, len(row))
+	put := func(c int, v rdf.TermID) bool {
+		if c < 0 {
+			return true
+		}
+		if filledCols[c] {
+			return row[c] == v
+		}
+		filledCols[c] = true
+		row[c] = v
+		return true
+	}
+	return put(bp.sVar, t.S) && put(bp.pVar, t.P) && put(bp.oVar, t.O)
+}
+
+// candidates picks the smallest applicable index posting list.
+func (s *store) candidates(bp boundPattern) []int32 {
+	var best []int32
+	have := false
+	consider := func(list []int32, applicable bool) {
+		if !applicable {
+			return
+		}
+		if !have || len(list) < len(best) {
+			best, have = list, true
+		}
+	}
+	consider(s.byS[bp.s], bp.sConst)
+	consider(s.byP[bp.p], bp.pConst)
+	consider(s.byO[bp.o], bp.oConst)
+	if have {
+		return best
+	}
+	all := make([]int32, len(s.triples))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return all
+}

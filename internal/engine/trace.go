@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/plan"
+)
+
+// TraceNode is one operator's execution profile — the engine's
+// EXPLAIN ANALYZE. It mirrors the plan tree.
+type TraceNode struct {
+	// Alg, Set and JoinVar identify the plan operator.
+	Alg     plan.Algorithm
+	Set     bitset.TPSet
+	TP      int
+	JoinVar string
+	// OutputRows is the total rows the operator produced across nodes.
+	OutputRows int64
+	// MaxNodeRows is the largest per-node output (load skew).
+	MaxNodeRows int64
+	// TransferredRows is this operator's own network contribution.
+	TransferredRows int64
+	// Elapsed is the operator's own wall time, excluding children.
+	Elapsed time.Duration
+	// EstimatedCard is the optimizer's cardinality estimate, kept for
+	// estimate-vs-actual comparison.
+	EstimatedCard float64
+	// Children mirror the plan's inputs.
+	Children []*TraceNode
+}
+
+// newTrace initializes a trace node from its plan operator.
+func newTrace(p *plan.Node) *TraceNode {
+	return &TraceNode{Alg: p.Alg, Set: p.Set, TP: p.TP, JoinVar: p.JoinVar, EstimatedCard: p.Card}
+}
+
+// record fills the output statistics from the per-node relations.
+func (tr *TraceNode) record(out []*Relation) {
+	for _, r := range out {
+		n := int64(len(r.Rows))
+		tr.OutputRows += n
+		if n > tr.MaxNodeRows {
+			tr.MaxNodeRows = n
+		}
+	}
+}
+
+// Format renders the trace as an indented tree with actual-vs-
+// estimated rows, per-operator time and network traffic.
+func (tr *TraceNode) Format() string {
+	var b strings.Builder
+	var walk func(t *TraceNode, indent string)
+	walk = func(t *TraceNode, indent string) {
+		switch t.Alg {
+		case plan.Scan:
+			fmt.Fprintf(&b, "%sscan tp%d: rows=%d (est %.4g) max/node=%d time=%v\n",
+				indent, t.TP+1, t.OutputRows, t.EstimatedCard, t.MaxNodeRows, t.Elapsed.Round(time.Microsecond))
+		default:
+			fmt.Fprintf(&b, "%s%s on ?%s: rows=%d (est %.4g) max/node=%d moved=%d time=%v\n",
+				indent, t.Alg, t.JoinVar, t.OutputRows, t.EstimatedCard, t.MaxNodeRows,
+				t.TransferredRows, t.Elapsed.Round(time.Microsecond))
+		}
+		for _, ch := range t.Children {
+			walk(ch, indent+"  ")
+		}
+	}
+	walk(tr, "")
+	return b.String()
+}
+
+// TotalTransferred sums the network traffic over the whole trace.
+func (tr *TraceNode) TotalTransferred() int64 {
+	total := tr.TransferredRows
+	for _, ch := range tr.Children {
+		total += ch.TotalTransferred()
+	}
+	return total
+}
+
+// Operators counts the operators in the trace.
+func (tr *TraceNode) Operators() int {
+	n := 1
+	for _, ch := range tr.Children {
+		n += ch.Operators()
+	}
+	return n
+}

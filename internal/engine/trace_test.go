@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/plan"
+	"sparqlopt/internal/sparql"
+)
+
+func TestTraceMirrorsPlan(t *testing.T) {
+	ds := socialDataset()
+	q := sparql.MustParse(`SELECT * WHERE { ?a <knows> ?b . ?b <worksFor> ?o . ?o <inCity> ?c . }`)
+	m := partition.HashSO{}
+	placement, err := m.Partition(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ds.Dict, placement)
+	res := optimizeFor(t, ds, q, m, 0 /* TDCMD */)
+	got, err := e.Execute(context.Background(), res.Plan, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("no trace attached")
+	}
+	// Same operator count and same root shape as the plan.
+	if got.Trace.Operators() != res.Plan.Operators()+len(res.Plan.Leaves()) {
+		t.Errorf("trace has %d operators, plan has %d joins + %d scans",
+			got.Trace.Operators(), res.Plan.Operators(), len(res.Plan.Leaves()))
+	}
+	if got.Trace.Alg != res.Plan.Alg || got.Trace.Set != res.Plan.Set {
+		t.Errorf("trace root mismatch: %v vs %v", got.Trace.Alg, res.Plan.Alg)
+	}
+	// Trace transfer agrees with the metrics total.
+	if got.Trace.TotalTransferred() != got.Metrics.TransferredRows {
+		t.Errorf("trace transfer %d != metrics %d",
+			got.Trace.TotalTransferred(), got.Metrics.TransferredRows)
+	}
+	// Estimated cardinalities carried over.
+	var walk func(tr *TraceNode, p *plan.Node)
+	walk = func(tr *TraceNode, p *plan.Node) {
+		if tr.EstimatedCard != p.Card {
+			t.Errorf("trace est %v != plan card %v at %v", tr.EstimatedCard, p.Card, p.Set)
+		}
+		for i := range tr.Children {
+			walk(tr.Children[i], p.Children[i])
+		}
+	}
+	walk(got.Trace, res.Plan)
+
+	out := got.Trace.Format()
+	for _, want := range []string{"scan tp", "rows=", "est", "moved="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRowCountsAreExact(t *testing.T) {
+	// With collected (exact) stats and a single scan, the trace's
+	// actual row count matches the reference result size times the
+	// replication factor or more; at minimum the root's OutputRows
+	// must be ≥ the distinct result count.
+	ds := socialDataset()
+	q := sparql.MustParse(`SELECT * WHERE { ?p <worksFor> ?o . ?o <inCity> ?c . }`)
+	m := partition.HashSO{}
+	placement, _ := m.Partition(ds, 2)
+	e := New(ds.Dict, placement)
+	res := optimizeFor(t, ds, q, m, 0)
+	got, err := e.Execute(context.Background(), res.Plan, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.OutputRows < int64(len(got.Rows)) {
+		t.Errorf("root produced %d rows but result has %d distinct",
+			got.Trace.OutputRows, len(got.Rows))
+	}
+	if got.Trace.MaxNodeRows > got.Trace.OutputRows {
+		t.Error("per-node maximum exceeds total")
+	}
+}

@@ -1,0 +1,40 @@
+package ntriples
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the reader never panics and that accepted input
+// survives a Write/Read round trip.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"<a> <b> <c> .",
+		"<a> <b> \"lit\" .\n<x> <y> <z> .",
+		"# comment\n_:b <p> <o> .",
+		"<a> <b> \"t\"@en .",
+		"<a> <b> \"5\"^^<http://t> .",
+		"<a> <b .", "garbage",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ds, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ds); err != nil {
+			t.Fatalf("write of accepted input failed: %v", err)
+		}
+		ds2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v\noriginal: %q\nwritten: %q", err, src, buf.String())
+		}
+		if ds2.Len() != ds.Len() {
+			t.Fatalf("round trip changed triple count: %d vs %d", ds2.Len(), ds.Len())
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package opt implements the paper's core contribution: optimal-
+// efficiency enumeration of k-ary bushy query plans.
+//
+//   - ConnBinDivision is Algorithm 2: it emits every connected
+//     binary-division (cbd) of a query on a join variable exactly once,
+//     in Θ(|V_T|) amortized time per division (Lemma 6).
+//   - ConnMultiDivision is Algorithm 3: it emits every connected
+//     multi-division (cmd, Definition 3) exactly once by recursively
+//     peeling cbds (Theorem 2), in Θ(|V_T|) amortized time per cmd
+//     (Lemma 3).
+//   - Optimize is Algorithm 1: memoized top-down join enumeration over
+//     cmds (TD-CMD), with the TD-CMDP pruning rules (§IV-A), the
+//     HGR-TD-CMD join-graph reduction (§IV-B) and the TD-Auto decision
+//     tree (§IV-C) layered on top.
+package opt
+
+import (
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/querygraph"
+)
+
+// ConnBinDivision enumerates the connected binary-divisions of the
+// subquery q on join variable vj (Algorithm 2). For every cbd
+// (SQ, q\SQ, v_j) it calls emit(SQ, q\SQ); enumeration stops early if
+// emit returns false. The side passed first always contains the
+// lowest-indexed pattern of N_tp(v_j) ∩ q, which makes each unordered
+// division appear exactly once.
+//
+// q must be a connected subquery of jg's query.
+func ConnBinDivision(jg *querygraph.JoinGraph, q bitset.TPSet, vj int, emit func(sq, rest bitset.TPSet) bool) {
+	neighbors := jg.Ntp[vj].Intersect(q)
+	if neighbors.Len() < 2 {
+		return // both sides need a pattern adjacent to vj
+	}
+	comps := jg.ComponentsExcluding(q, vj)
+	seed := neighbors.Min()
+
+	findComp := func(tp int) bitset.TPSet {
+		for _, c := range comps {
+			if c.Has(tp) {
+				return c
+			}
+		}
+		return 0
+	}
+
+	// extension returns the set that must be added to sq together with
+	// tp: the whole component when it is indivisible (Lemma 1), or
+	// {tp} plus the fall-off parts that contain no vj-neighbor
+	// (Lemma 2) when it is divisible.
+	extension := func(sq bitset.TPSet, tp int) bitset.TPSet {
+		comp := findComp(tp)
+		if comp.Intersect(jg.Ntp[vj]).Len() == 1 {
+			return comp // indivisible component: take it whole
+		}
+		rest := comp.Diff(sq).Remove(tp)
+		ext := bitset.Single(tp)
+		if rest.IsEmpty() {
+			return ext
+		}
+		for _, sub := range jg.ComponentsExcluding(rest, vj) {
+			if !sub.Overlaps(neighbors) {
+				ext = ext.Union(sub)
+			}
+		}
+		return ext
+	}
+
+	// rec extends sq; x holds the frontier patterns already branched on
+	// at enclosing levels, whose divisions were enumerated there.
+	var rec func(sq, x bitset.TPSet) bool
+	rec = func(sq, x bitset.TPSet) bool {
+		if !sq.IsEmpty() {
+			if !emit(sq, q.Diff(sq)) {
+				return false
+			}
+		}
+		var frontier bitset.TPSet
+		if sq.IsEmpty() {
+			frontier = bitset.Single(seed)
+		} else {
+			frontier = jg.AdjOf(q, sq).Diff(x)
+		}
+		cont := true
+		frontier.Each(func(tp int) bool {
+			ext := extension(sq, tp)
+			next := sq.Union(ext)
+			// Skip divisions already emitted under an earlier branch
+			// (ext pulled in an excluded pattern) and the degenerate
+			// full division.
+			if !ext.Overlaps(x) && next != q {
+				if !rec(next, x) {
+					cont = false
+					return false
+				}
+			}
+			x = x.Add(tp)
+			return true
+		})
+		return cont
+	}
+	rec(0, 0)
+}
+
+// CMD is one connected multi-division (Definition 3): a partition of a
+// subquery into k ≥ 2 connected parts, each containing a pattern
+// adjacent to the common join variable Var.
+type CMD struct {
+	// Parts are the k subqueries SQ_1 ... SQ_k.
+	Parts []bitset.TPSet
+	// Var is the index of the join variable v_j in the join graph.
+	Var int
+}
+
+// ConnMultiDivision enumerates the connected multi-divisions of the
+// subquery q (Algorithm 3), calling emit once per cmd; enumeration
+// stops early if emit returns false. The Parts slice passed to emit is
+// reused across calls — copy it to retain.
+//
+// When pruneCCMD is true, only binary divisions and connected
+// complete-multi-divisions (ccmds — every part contains exactly one
+// vj-neighbor) are emitted, implementing Rule 1 of TD-CMDP.
+func ConnMultiDivision(jg *querygraph.JoinGraph, q bitset.TPSet, pruneCCMD bool, emit func(cmd CMD) bool) {
+	if q.Len() < 2 {
+		return
+	}
+	parts := make([]bitset.TPSet, 0, q.Len())
+	for vj := range jg.Vars {
+		neighbors := jg.Ntp[vj].Intersect(q)
+		if neighbors.Len() < 2 {
+			continue
+		}
+		single := func(s bitset.TPSet) bool { return s.Intersect(neighbors).Len() == 1 }
+
+		// rec peels cbds of rest on vj, accumulating peeled parts.
+		// allSingle tracks whether every accumulated part has exactly
+		// one vj-neighbor (required of k>2 divisions under pruning).
+		var rec func(rest bitset.TPSet, allSingle bool) bool
+		rec = func(rest bitset.TPSet, allSingle bool) bool {
+			if len(parts) > 0 {
+				valid := len(parts) == 1 || !pruneCCMD || (allSingle && single(rest))
+				if valid {
+					parts = append(parts, rest)
+					ok := emit(CMD{Parts: parts, Var: vj})
+					parts = parts[:len(parts)-1]
+					if !ok {
+						return false
+					}
+				}
+			}
+			if single(rest) {
+				return true
+			}
+			cont := true
+			ConnBinDivision(jg, rest, vj, func(a, b bitset.TPSet) bool {
+				if pruneCCMD && len(parts) >= 1 && !(allSingle && single(a)) {
+					// Deeper splits would only yield non-ccmd k>2
+					// divisions; prune the branch but keep scanning
+					// sibling cbds.
+					return true
+				}
+				parts = append(parts, a)
+				cont = rec(b, allSingle && single(a))
+				parts = parts[:len(parts)-1]
+				return cont
+			})
+			return cont
+		}
+		if !rec(q, true) {
+			return
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/cost"
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/plan"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
+)
+
+// Algorithm selects one of the paper's optimization algorithms.
+type Algorithm uint8
+
+const (
+	// TDCMD is the unpruned top-down enumeration (Algorithm 1), which
+	// always finds the minimum-cost Cartesian-product-free k-ary plan.
+	TDCMD Algorithm = iota
+	// TDCMDP is TD-CMD with the three pruning rules of §IV-A.
+	TDCMDP
+	// HGRTDCMD reduces the join graph by collapsing local groups
+	// (§IV-B), then runs TD-CMD on the reduced graph.
+	HGRTDCMD
+	// TDAuto picks one of the above via the decision tree of §IV-C.
+	TDAuto
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case TDCMD:
+		return "TD-CMD"
+	case TDCMDP:
+		return "TD-CMDP"
+	case HGRTDCMD:
+		return "HGR-TD-CMD"
+	default:
+		return "TD-Auto"
+	}
+}
+
+// Decision-tree thresholds of §IV-C ("in practice, based on our
+// experiments, we set θ_d = 5, θ_n = 30 and λ_n = 14").
+const (
+	ThetaD  = 5
+	ThetaN  = 30
+	LambdaN = 14
+)
+
+// Input bundles everything one optimization run needs.
+type Input struct {
+	// Query is the parsed query.
+	Query *sparql.Query
+	// Views are the query's graph views (built from Query if nil).
+	Views *querygraph.Views
+	// Est estimates subquery cardinalities.
+	Est *stats.Estimator
+	// Params is the cost model (cost.Default if zero Nodes).
+	Params cost.Params
+	// Method is the data partitioning method, used to detect local
+	// queries. When nil, no subquery is considered local except single
+	// patterns (pure distributed execution).
+	Method partition.Method
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	// Plan is the chosen physical plan.
+	Plan *plan.Node
+	// Counter holds search-space instrumentation.
+	Counter Counter
+	// Used reports which concrete algorithm ran (interesting for TDAuto).
+	Used Algorithm
+	// Groups holds the join-graph-reduction groups when HGR ran
+	// (nil otherwise).
+	Groups []bitset.TPSet
+}
+
+// Optimize runs the selected algorithm. ctx bounds the run; on
+// cancellation or deadline the error is ctx.Err() (the paper's
+// experiments cap optimization at 600 s and report "N/A").
+func Optimize(ctx context.Context, in *Input, algo Algorithm) (*Result, error) {
+	if err := normalize(in); err != nil {
+		return nil, err
+	}
+	switch algo {
+	case TDCMD:
+		return runTD(ctx, in, Options{})
+	case TDCMDP:
+		return runTD(ctx, in, CMDPOptions())
+	case HGRTDCMD:
+		return runHGR(ctx, in)
+	case TDAuto:
+		return runAuto(ctx, in)
+	}
+	return nil, fmt.Errorf("opt: unknown algorithm %d", algo)
+}
+
+// NormalizeInput validates in and fills defaulted fields (Views from
+// Query, cost.Default parameters). The baseline optimizers share it.
+func NormalizeInput(in *Input) error { return normalize(in) }
+
+// OptimizeWithOptions runs the top-down enumeration with an arbitrary
+// combination of the TD-CMDP pruning rules — used by the ablation
+// study; Optimize's named algorithms cover the paper's combinations.
+func OptimizeWithOptions(ctx context.Context, in *Input, o Options) (*Result, error) {
+	if err := normalize(in); err != nil {
+		return nil, err
+	}
+	return runTD(ctx, in, o)
+}
+
+func normalize(in *Input) error {
+	if in.Query == nil {
+		return fmt.Errorf("opt: nil query")
+	}
+	if in.Views == nil {
+		v, err := querygraph.Build(in.Query)
+		if err != nil {
+			return err
+		}
+		in.Views = v
+	}
+	if in.Est == nil {
+		return fmt.Errorf("opt: nil estimator")
+	}
+	if in.Params.Nodes == 0 {
+		in.Params = cost.Default
+	}
+	return nil
+}
+
+// identitySpace builds the unit space where each unit is one triple
+// pattern.
+func identitySpace(ctx context.Context, in *Input, o Options) *space {
+	jg := in.Views.Join
+	var checker *partition.LocalChecker
+	if in.Method != nil {
+		checker = partition.NewLocalChecker(in.Method, in.Views.Query)
+	}
+	return &space{
+		ctx: ctx,
+		jg:  jg,
+		leaf: func(u int) *plan.Node {
+			return plan.NewScan(u, in.Est.Cardinality(bitset.Single(u)), in.Params)
+		},
+		card: in.Est.Cardinality,
+		isLocal: func(s bitset.TPSet) bool {
+			if checker == nil {
+				return s.Len() <= 1
+			}
+			return checker.IsLocal(s)
+		},
+		params:  in.Params,
+		opt:     o,
+		counter: &Counter{},
+	}
+}
+
+func runTD(ctx context.Context, in *Input, o Options) (*Result, error) {
+	sp := identitySpace(ctx, in, o)
+	p, err := sp.run()
+	if err != nil {
+		return nil, err
+	}
+	used := TDCMD
+	if o.PruneCCMD || o.BinaryBroadcastOnly || o.LocalShortcut {
+		used = TDCMDP
+	}
+	return &Result{Plan: p, Counter: *sp.counter, Used: used}, nil
+}
+
+// runAuto implements the decision tree of Fig. 5: for join graphs with
+// |V_T|/|V_J| ≥ 1 (acyclic or single-cycle), low-degree join variables
+// mean TD-CMD is affordable; high-degree variables route to TD-CMDP
+// for moderate sizes and HGR-TD-CMD for large ones. Join graphs with
+// more join variables than patterns (multiple cycles) use TD-CMD only
+// while small.
+func runAuto(ctx context.Context, in *Input) (*Result, error) {
+	jg := in.Views.Join
+	algo := chooseAuto(jg)
+	res, err := Optimize(ctx, in, algo)
+	if err != nil {
+		return nil, err
+	}
+	res.Used = algo
+	return res, nil
+}
+
+func chooseAuto(jg *querygraph.JoinGraph) Algorithm {
+	nt, nj := jg.NumTP, jg.NumJoinVars()
+	if nj == 0 || nt >= nj {
+		if jg.MaxVarDegree() < ThetaD {
+			return TDCMD
+		}
+		if nt < ThetaN {
+			return TDCMDP
+		}
+		return HGRTDCMD
+	}
+	if nt < LambdaN {
+		return TDCMD
+	}
+	return HGRTDCMD
+}

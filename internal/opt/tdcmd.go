@@ -1,0 +1,179 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/cost"
+	"sparqlopt/internal/plan"
+	"sparqlopt/internal/querygraph"
+)
+
+// Options are the pruning rules of TD-CMDP (§IV-A). The zero value is
+// the unpruned TD-CMD.
+type Options struct {
+	// PruneCCMD restricts k>2 divisions to connected complete-multi-
+	// divisions (Rule 1).
+	PruneCCMD bool
+	// BinaryBroadcastOnly considers broadcast joins only for binary
+	// divisions (Rule 2).
+	BinaryBroadcastOnly bool
+	// LocalShortcut makes the local-join plan final for local
+	// subqueries, skipping their enumeration entirely (Rule 3).
+	LocalShortcut bool
+}
+
+// CMDPOptions enables all three TD-CMDP pruning rules.
+func CMDPOptions() Options {
+	return Options{PruneCCMD: true, BinaryBroadcastOnly: true, LocalShortcut: true}
+}
+
+// Counter instruments one optimizer run.
+type Counter struct {
+	// CMDs is the number of join operators (connected multi-divisions)
+	// enumerated — the "size of the search space" of paper Table VII.
+	CMDs int64
+	// Plans is the number of candidate plans costed (each cmd may be
+	// costed with several join algorithms).
+	Plans int64
+	// Subqueries is the number of distinct subqueries planned.
+	Subqueries int64
+}
+
+// space is one plan-enumeration problem over "units". For plain TD-CMD
+// each unit is one triple pattern; HGR-TD-CMD collapses local groups
+// of patterns into single units and reuses the same machinery.
+type space struct {
+	ctx     context.Context
+	jg      *querygraph.JoinGraph // join graph over units
+	leaf    func(unit int) *plan.Node
+	card    func(units bitset.TPSet) float64
+	isLocal func(units bitset.TPSet) bool
+	params  cost.Params
+	opt     Options
+	counter *Counter
+	memo    map[bitset.TPSet]*plan.Node
+	steps   int
+	err     error
+}
+
+const cancelCheckInterval = 4096
+
+func (sp *space) cancelled() bool {
+	if sp.err != nil {
+		return true
+	}
+	sp.steps++
+	if sp.steps%cancelCheckInterval == 0 {
+		if err := sp.ctx.Err(); err != nil {
+			sp.err = err
+			return true
+		}
+	}
+	return false
+}
+
+// run optimizes the full unit set.
+func (sp *space) run() (*plan.Node, error) {
+	all := sp.jg.All()
+	if !sp.jg.Connected(all) {
+		return nil, fmt.Errorf("opt: query is disconnected; a Cartesian-product-free plan does not exist")
+	}
+	sp.memo = make(map[bitset.TPSet]*plan.Node)
+	p := sp.best(all, false)
+	if sp.err != nil {
+		return nil, sp.err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("opt: no plan found")
+	}
+	return p, nil
+}
+
+// best is GetBestPlan of Algorithm 1: memoized recursion. inheritedLocal
+// is true when an ancestor subquery was already known local (Lemma 4),
+// which lets us skip the check.
+func (sp *space) best(s bitset.TPSet, inheritedLocal bool) *plan.Node {
+	if p, ok := sp.memo[s]; ok {
+		return p
+	}
+	if sp.cancelled() {
+		return nil
+	}
+	p := sp.bestPlanGen(s, inheritedLocal)
+	if sp.err == nil {
+		sp.memo[s] = p
+	}
+	return p
+}
+
+// bestPlanGen is BestPlanGen of Algorithm 1.
+func (sp *space) bestPlanGen(s bitset.TPSet, inheritedLocal bool) *plan.Node {
+	sp.counter.Subqueries++
+	if s.Len() == 1 {
+		return sp.leaf(s.Min())
+	}
+	local := inheritedLocal || sp.isLocal(s)
+	var bPlan *plan.Node
+	if local {
+		bPlan = sp.localPlan(s)
+		if sp.opt.LocalShortcut {
+			return bPlan // Rule 3: the local join plan is final
+		}
+	}
+	ConnMultiDivision(sp.jg, s, sp.opt.PruneCCMD, func(cmd CMD) bool {
+		if sp.cancelled() {
+			return false
+		}
+		sp.counter.CMDs++
+		children := make([]*plan.Node, len(cmd.Parts))
+		inputs := make([]float64, len(cmd.Parts))
+		for i, part := range cmd.Parts {
+			ch := sp.best(part, local)
+			if ch == nil {
+				return false // cancelled
+			}
+			children[i] = ch
+			inputs[i] = ch.Card
+		}
+		out := sp.card(s)
+		vj := sp.jg.Vars[cmd.Var]
+		// Repartition join: always a candidate.
+		sp.counter.Plans++
+		cand := plan.NewJoin(plan.RepartitionJoin, vj, children, out, sp.params)
+		if bPlan == nil || cand.Cost < bPlan.Cost {
+			bPlan = cand
+		}
+		// Broadcast join: Rule 2 restricts it to binary divisions.
+		if !sp.opt.BinaryBroadcastOnly || len(cmd.Parts) == 2 {
+			sp.counter.Plans++
+			cand = plan.NewJoin(plan.BroadcastJoin, vj, children, out, sp.params)
+			if cand.Cost < bPlan.Cost {
+				bPlan = cand
+			}
+		}
+		return true
+	})
+	return bPlan
+}
+
+// localPlan builds the k-way local join of all units of the local
+// subquery s.
+func (sp *space) localPlan(s bitset.TPSet) *plan.Node {
+	if s.Len() == 1 {
+		return sp.leaf(s.Min())
+	}
+	children := make([]*plan.Node, 0, s.Len())
+	s.Each(func(u int) bool {
+		children = append(children, sp.leaf(u))
+		return true
+	})
+	joinVars := sp.jg.JoinVarsOf(s)
+	name := ""
+	if len(joinVars) > 0 {
+		name = sp.jg.Vars[joinVars[0]]
+	}
+	sp.counter.Plans++
+	return plan.NewJoin(plan.LocalJoin, name, children, sp.card(s), sp.params)
+}

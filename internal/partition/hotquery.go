@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+)
+
+// WithHotQueries extends a static method with the dynamic-partitioning
+// hook of the paper's extended version (appendix B there): at run time
+// the engine redistributes data so that a list of "hot queries" can be
+// evaluated locally. For maximal-local-query computation, the combine
+// function is augmented: if the intersection of a hot query with the
+// current query is connected and contains the anchor vertex, that
+// intersection is a local query too, and MLQ_v becomes the larger of
+// the two candidates.
+//
+// Two patterns "match" when they agree on constants and on the
+// variable/constant shape of every position; this conservative textual
+// criterion under-approximates the true intersection, which only makes
+// local-query detection miss opportunities, never claim false ones.
+func WithHotQueries(base Method, hot []*sparql.Query) Method {
+	return &hotMethod{base: base, hot: hot}
+}
+
+type hotMethod struct {
+	base Method
+	hot  []*sparql.Query
+}
+
+// Name implements Method.
+func (m *hotMethod) Name() string { return m.base.Name() + "+hot" }
+
+// Partition implements Method by delegating to the static base; the
+// run-time redistribution itself is outside this library's scope.
+func (m *hotMethod) Partition(ds *rdf.Dataset, nodes int) (*Placement, error) {
+	return m.base.Partition(ds, nodes)
+}
+
+// CombineQuery implements Method.
+func (m *hotMethod) CombineQuery(g *querygraph.Graph, v int) bitset.TPSet {
+	best := m.base.CombineQuery(g, v)
+	incident := g.Incident(v)
+	for _, hq := range m.hot {
+		inter := intersect(g.Query, hq)
+		if inter.IsEmpty() || !inter.Overlaps(incident) {
+			continue
+		}
+		// Keep the connected component of the intersection containing v.
+		comp := componentContaining(g, inter, incident)
+		if comp.Len() > best.Len() {
+			best = comp
+		}
+	}
+	return best
+}
+
+// intersect returns the patterns of q that also appear (shape-wise) in hq.
+func intersect(q, hq *sparql.Query) bitset.TPSet {
+	var out bitset.TPSet
+	for i, tp := range q.Patterns {
+		for _, htp := range hq.Patterns {
+			if patternsMatch(tp, htp) {
+				out = out.Add(i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func patternsMatch(a, b sparql.TriplePattern) bool {
+	return termsMatch(a.S, b.S) && termsMatch(a.P, b.P) && termsMatch(a.O, b.O)
+}
+
+func termsMatch(a, b sparql.Term) bool {
+	if a.IsVar() != b.IsVar() {
+		return false
+	}
+	if a.IsVar() {
+		return true // any variable matches any variable
+	}
+	return a.Kind == b.Kind && a.Value == b.Value
+}
+
+// componentContaining returns the patterns of inter reachable (through
+// shared query-graph vertices) from the patterns incident to v.
+func componentContaining(g *querygraph.Graph, inter, seed bitset.TPSet) bitset.TPSet {
+	comp := inter.Intersect(seed)
+	if comp.IsEmpty() {
+		return 0
+	}
+	for {
+		grown := comp
+		comp.Each(func(tp int) bool {
+			for _, end := range g.TPEnds[tp] {
+				grown = grown.Union(g.Incident(end).Intersect(inter))
+			}
+			return true
+		})
+		if grown == comp {
+			return comp
+		}
+		comp = grown
+	}
+}

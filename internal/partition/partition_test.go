@@ -1,0 +1,341 @@
+package partition
+
+import (
+	"testing"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+)
+
+// fig1 is the running example of paper Fig. 1a (indexes 0..6 = tp1..tp7).
+const fig1 = `SELECT * WHERE {
+	?b <p1> ?a .
+	?c <p2> ?a .
+	?a <p3> ?e .
+	?e <p4> ?g .
+	?b <p5> ?f .
+	?c <p6> ?d .
+	?a <p7> ?d .
+}`
+
+func fig1Graph(t *testing.T) *querygraph.Graph {
+	t.Helper()
+	return querygraph.NewGraph(sparql.MustParse(fig1))
+}
+
+func chainDataset() *rdf.Dataset {
+	ds := rdf.NewDataset()
+	// A small directed chain plus a few branches.
+	ds.Add("a", "p", "b")
+	ds.Add("b", "p", "c")
+	ds.Add("c", "p", "d")
+	ds.Add("a", "q", "e")
+	ds.Add("x", "p", "c")
+	return ds
+}
+
+func TestHashSOCombineQueryExample7(t *testing.T) {
+	// Paper Example 7: MLQ at ?a under hash partitioning is
+	// {tp1, tp2, tp3, tp7} = indexes {0,1,2,6}.
+	g := fig1Graph(t)
+	a, _ := g.VertexOf(sparql.V("a"))
+	got := HashSO{}.CombineQuery(g, a)
+	if got != bitset.Of(0, 1, 2, 6) {
+		t.Errorf("MLQ(?a) = %v, want {0,1,2,6}", got)
+	}
+}
+
+func TestPathCombineQueryExample5(t *testing.T) {
+	// Paper Example 5: MLQ at ?b under path partitioning is
+	// {tp1, tp3, tp4, tp5, tp7} = indexes {0,2,3,4,6}.
+	g := fig1Graph(t)
+	b, _ := g.VertexOf(sparql.V("b"))
+	got := PathBMC{}.CombineQuery(g, b)
+	if got != bitset.Of(0, 2, 3, 4, 6) {
+		t.Errorf("MLQ(?b) = %v, want {0,2,3,4,6}", got)
+	}
+}
+
+func TestLocalCheckerHash(t *testing.T) {
+	g := fig1Graph(t)
+	c := NewLocalChecker(HashSO{}, g)
+	// Example 7: all subqueries of {tp1,tp2,tp3,tp7} are local.
+	if !c.IsLocal(bitset.Of(0, 1, 2)) {
+		t.Error("{tp1,tp2,tp3} should be local under hash")
+	}
+	if !c.IsLocal(bitset.Of(0, 1, 2, 6)) {
+		t.Error("{tp1,tp2,tp3,tp7} should be local under hash")
+	}
+	// tp1 and tp4 share no vertex: not local.
+	if c.IsLocal(bitset.Of(0, 3)) {
+		t.Error("{tp1,tp4} should not be local under hash")
+	}
+	// The whole query is not local under hash.
+	if c.IsLocal(bitset.Full(7)) {
+		t.Error("full query should not be local under hash")
+	}
+	// Singletons always local.
+	if !c.IsLocal(bitset.Of(3)) || !c.IsLocal(0) {
+		t.Error("singleton/empty must be local")
+	}
+}
+
+func TestLocalCheckerPath(t *testing.T) {
+	g := fig1Graph(t)
+	c := NewLocalChecker(PathBMC{}, g)
+	// Under path partitioning, everything reachable from ?b or ?c is
+	// local; e.g. {tp1,tp3,tp4,tp5,tp7} (Example 5).
+	if !c.IsLocal(bitset.Of(0, 2, 3, 4, 6)) {
+		t.Error("{tp1,tp3,tp4,tp5,tp7} should be local under path")
+	}
+	// The full query needs both ?b and ?c branches: not reachable from
+	// any single vertex.
+	if c.IsLocal(bitset.Full(7)) {
+		t.Error("full query should not be local under path")
+	}
+}
+
+func TestLocalCheckerKeepsOnlyMaximal(t *testing.T) {
+	g := fig1Graph(t)
+	c := NewLocalChecker(HashSO{}, g)
+	mlqs := c.MaximalLocalQueries()
+	for i, a := range mlqs {
+		for j, b := range mlqs {
+			if i != j && a.SubsetOf(b) {
+				t.Fatalf("mlq %v subsumed by %v", a, b)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"hash-so", "2f", "2fb", "path-bmc", "un-1hop"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if m == nil {
+			t.Errorf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// coverage asserts every dataset triple appears on at least one node.
+func coverage(t *testing.T, ds *rdf.Dataset, p *Placement) {
+	t.Helper()
+	have := map[rdf.Triple]bool{}
+	for _, node := range p.Triples {
+		for _, tr := range node {
+			have[tr] = true
+		}
+	}
+	for _, tr := range ds.Triples {
+		if !have[tr] {
+			t.Errorf("triple %v missing from placement", ds.String(tr))
+		}
+	}
+}
+
+func TestPartitionCoverageAllMethods(t *testing.T) {
+	ds := chainDataset()
+	for _, m := range []Method{HashSO{}, TwoHopForward{}, TwoHopBidirectional{}, PathBMC{}, UndirectedOneHop{}} {
+		t.Run(m.Name(), func(t *testing.T) {
+			p, err := m.Partition(ds, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Nodes != 3 || len(p.Triples) != 3 {
+				t.Fatalf("placement shape wrong: %+v", p)
+			}
+			coverage(t, ds, p)
+			if p.ReplicationFactor(ds.Len()) < 1 {
+				t.Errorf("replication factor %v < 1", p.ReplicationFactor(ds.Len()))
+			}
+		})
+	}
+}
+
+func TestPartitionRejectsBadNodeCount(t *testing.T) {
+	ds := chainDataset()
+	for _, m := range []Method{HashSO{}, TwoHopForward{}, TwoHopBidirectional{}, PathBMC{}, UndirectedOneHop{}} {
+		if _, err := m.Partition(ds, 0); err == nil {
+			t.Errorf("%s accepted 0 nodes", m.Name())
+		}
+	}
+}
+
+func TestHashSOCollocation(t *testing.T) {
+	// Every pair of triples sharing a subject or object must be
+	// collocated on at least one node under HashSO.
+	ds := chainDataset()
+	p, err := HashSO{}.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := map[rdf.Triple]map[int]bool{}
+	for n, ts := range p.Triples {
+		for _, tr := range ts {
+			if where[tr] == nil {
+				where[tr] = map[int]bool{}
+			}
+			where[tr][n] = true
+		}
+	}
+	for _, a := range ds.Triples {
+		for _, b := range ds.Triples {
+			share := a.S == b.S || a.O == b.O || a.S == b.O || a.O == b.S
+			if !share {
+				continue
+			}
+			collocated := false
+			for n := range where[a] {
+				if where[b][n] {
+					collocated = true
+					break
+				}
+			}
+			if !collocated {
+				t.Errorf("triples %v and %v share a vertex but are not collocated", ds.String(a), ds.String(b))
+			}
+		}
+	}
+}
+
+func TestPathBMCElementsWhole(t *testing.T) {
+	// Every forward closure from a start vertex must live on one node.
+	ds := chainDataset()
+	p, err := PathBMC{}.Partition(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start vertices: "a" and "x". Closure of "a": a→b, b→c, c→d, a→e.
+	// The element of "a" has 4 triples; check some node holds all 4.
+	found := false
+	for _, node := range p.Triples {
+		count := 0
+		for _, tr := range node {
+			switch ds.String(tr) {
+			case "<a> <p> <b>", "<b> <p> <c>", "<c> <p> <d>", "<a> <q> <e>":
+				count++
+			}
+		}
+		if count == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no node holds the complete forward closure of vertex a")
+	}
+}
+
+func TestPathBMCCoversCycles(t *testing.T) {
+	ds := rdf.NewDataset()
+	// Pure cycle: no start vertex.
+	ds.Add("a", "p", "b")
+	ds.Add("b", "p", "c")
+	ds.Add("c", "p", "a")
+	p, err := PathBMC{}.Partition(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverage(t, ds, p)
+}
+
+func TestGreedyEdgeCutBalance(t *testing.T) {
+	ds := rdf.NewDataset()
+	for i := 0; i < 50; i++ {
+		ds.Add(string(rune('a'+i%26))+"x", "p", string(rune('a'+(i+1)%26))+"x")
+	}
+	g := rdf.NewGraph(ds.Triples)
+	assign := greedyEdgeCut(g, 4)
+	counts := map[int]int{}
+	for _, n := range assign {
+		counts[n]++
+	}
+	if len(counts) < 2 {
+		t.Errorf("partitioner used %d nodes", len(counts))
+	}
+	for n, c := range counts {
+		if c > (g.NumVertices()+3)/4+1 {
+			t.Errorf("node %d overloaded: %d vertices", n, c)
+		}
+	}
+}
+
+func TestWithHotQueries(t *testing.T) {
+	q := sparql.MustParse(fig1)
+	g := querygraph.NewGraph(q)
+	base := HashSO{}
+	// Hot query covering tp1, tp2, tp3, tp4 (so the whole chain
+	// through ?a and ?e becomes local).
+	hot := sparql.MustParse(`SELECT * WHERE {
+		?b <p1> ?a .
+		?c <p2> ?a .
+		?a <p3> ?e .
+		?e <p4> ?g .
+	}`)
+	m := WithHotQueries(base, []*sparql.Query{hot})
+	if m.Name() != "Hash-SO+hot" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	c := NewLocalChecker(m, g)
+	// {tp3, tp4} share only ?e; base hash makes it local anyway, but
+	// {tp1, tp3, tp4} (indexes 0,2,3) is NOT local under plain hash...
+	base2 := NewLocalChecker(base, g)
+	if base2.IsLocal(bitset.Of(0, 2, 3)) {
+		t.Fatal("test premise wrong: {tp1,tp3,tp4} local under plain hash")
+	}
+	// ...but local with the hot query installed.
+	if !c.IsLocal(bitset.Of(0, 2, 3)) {
+		t.Error("{tp1,tp3,tp4} should be local with hot query")
+	}
+	// Patterns outside the hot query stay non-local.
+	if c.IsLocal(bitset.Full(7)) {
+		t.Error("full query should remain non-local")
+	}
+	// Partition delegates to the base method.
+	ds := chainDataset()
+	if _, err := m.Partition(ds, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoHopForwardCombineQuery(t *testing.T) {
+	g := fig1Graph(t)
+	b, _ := g.VertexOf(sparql.V("b"))
+	// 2 hops forward from ?b: tp1 (?b→?a), tp5 (?b→?f), then ?a's
+	// out-edges tp3 (?a→?e), tp7 (?a→?d).
+	got := TwoHopForward{}.CombineQuery(g, b)
+	if got != bitset.Of(0, 2, 4, 6) {
+		t.Errorf("2f MLQ(?b) = %v, want {0,2,4,6}", got)
+	}
+}
+
+func TestTwoHopBidirectionalCombineQuery(t *testing.T) {
+	g := fig1Graph(t)
+	b, _ := g.VertexOf(sparql.V("b"))
+	// 2 undirected hops from ?b: tp1, tp5 (hop 1 via ?b), then every
+	// pattern touching ?a or ?f (hop 2): tp2, tp3, tp7.
+	got := TwoHopBidirectional{}.CombineQuery(g, b)
+	if got != bitset.Of(0, 1, 2, 4, 6) {
+		t.Errorf("2fb MLQ(?b) = %v, want {0,1,2,4,6}", got)
+	}
+}
+
+func TestTwoHopBidirectionalSupersetsOf2f(t *testing.T) {
+	// The bidirectional closure always contains the forward closure,
+	// so 2fb detects at least the local queries 2f does.
+	g := fig1Graph(t)
+	for v := range g.Terms {
+		f := TwoHopForward{}.CombineQuery(g, v)
+		fb := TwoHopBidirectional{}.CombineQuery(g, v)
+		if !f.SubsetOf(fb) {
+			t.Errorf("vertex %d: 2f %v not within 2fb %v", v, f, fb)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan in Graphviz dot syntax, one box per operator,
+// in the style of the paper's Fig. 3 plan drawings. Scans show their
+// triple-pattern number; joins show the algorithm and join variable.
+func (n *Node) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	id := 0
+	var walk func(m *Node) int
+	walk = func(m *Node) int {
+		me := id
+		id++
+		var label string
+		if m.Alg == Scan {
+			label = fmt.Sprintf("tp%d\\ncard=%.4g", m.TP+1, m.Card)
+		} else {
+			label = fmt.Sprintf("%s ?%s\\ncard=%.4g cost=%.4g", dotAlg(m.Alg), m.JoinVar, m.Card, m.Cost)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", me, label)
+		for _, ch := range m.Children {
+			c := walk(ch)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", me, c)
+		}
+		return me
+	}
+	walk(n)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotAlg avoids non-ASCII join symbols in dot labels.
+func dotAlg(a Algorithm) string {
+	switch a {
+	case LocalJoin:
+		return "JOIN_L"
+	case BroadcastJoin:
+		return "JOIN_B"
+	default:
+		return "JOIN_R"
+	}
+}

@@ -1,0 +1,66 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func samplePlan() *Node {
+	l := NewJoin(LocalJoin, "a", []*Node{NewScan(0, 10, p), NewScan(1, 20, p)}, 5, p)
+	return NewJoin(BroadcastJoin, "c", []*Node{l, NewScan(2, 30, p)}, 2, p)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := samplePlan()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Node
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Set != orig.Set || got.Cost != orig.Cost || got.Alg != orig.Alg {
+		t.Errorf("round trip changed the root: %+v", got)
+	}
+	if got.Format() != orig.Format() {
+		t.Errorf("round trip changed the tree:\n%s\nvs\n%s", got.Format(), orig.Format())
+	}
+	if err := got.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONContent(t *testing.T) {
+	data, err := json.Marshal(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"alg":"broadcast"`, `"alg":"local"`, `"alg":"scan"`, `"joinVar":"c"`, `"tp":2`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad alg", `{"alg":"nope"}`},
+		{"scan without tp", `{"alg":"scan"}`},
+		{"tp out of range", `{"alg":"scan","tp":99}`},
+		{"scan with children", `{"alg":"scan","tp":0,"children":[{"alg":"scan","tp":1}]}`},
+		{"join one child", `{"alg":"local","children":[{"alg":"scan","tp":0}]}`},
+		{"overlapping children", `{"alg":"local","children":[{"alg":"scan","tp":0},{"alg":"scan","tp":0}]}`},
+		{"not json", `{{{`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var n Node
+			if err := json.Unmarshal([]byte(c.in), &n); err == nil {
+				t.Errorf("accepted %s", c.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package querygraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/sparql"
+)
+
+// randomQuery builds a random (not necessarily connected) query.
+func randomQuery(r *rand.Rand, n int) *sparql.Query {
+	q := &sparql.Query{}
+	nvars := n + 2
+	for i := 0; i < n; i++ {
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{
+			S: sparql.V(fmt.Sprintf("v%d", r.Intn(nvars))),
+			P: sparql.I(fmt.Sprintf("p%d", r.Intn(3))),
+			O: sparql.V(fmt.Sprintf("v%d", r.Intn(nvars))),
+		})
+	}
+	return q
+}
+
+// TestComponentsPartition: components of any subset partition it, each
+// component is connected, and merging any two would be disconnected.
+func TestComponentsPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		q := randomQuery(r, 2+r.Intn(8))
+		jg, err := NewJoinGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := bitset.TPSet(r.Uint64()).Intersect(bitset.Full(jg.NumTP))
+		if sub.IsEmpty() {
+			continue
+		}
+		comps := jg.Components(sub)
+		var union bitset.TPSet
+		for i, c := range comps {
+			if c.IsEmpty() {
+				t.Fatal("empty component")
+			}
+			if union.Overlaps(c) {
+				t.Fatal("overlapping components")
+			}
+			union = union.Union(c)
+			if !jg.Connected(c) {
+				t.Fatalf("component %v not connected", c)
+			}
+			for j := i + 1; j < len(comps); j++ {
+				if jg.Connected(c.Union(comps[j])) {
+					t.Fatalf("components %v and %v are actually connected", c, comps[j])
+				}
+			}
+		}
+		if union != sub {
+			t.Fatalf("components %v do not cover %v", comps, sub)
+		}
+	}
+}
+
+// TestComponentsExcludingConsistency: removing a variable never merges
+// components, and the union is preserved.
+func TestComponentsExcludingConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		q := randomQuery(r, 3+r.Intn(7))
+		jg, err := NewJoinGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jg.NumJoinVars() == 0 {
+			continue
+		}
+		vj := r.Intn(jg.NumJoinVars())
+		all := jg.All()
+		with := jg.Components(all)
+		without := jg.ComponentsExcluding(all, vj)
+		if len(without) < len(with) {
+			t.Fatalf("removing ?%s merged components: %d -> %d", jg.Vars[vj], len(with), len(without))
+		}
+		var union bitset.TPSet
+		for _, c := range without {
+			union = union.Union(c)
+		}
+		if union != all {
+			t.Fatal("ComponentsExcluding lost patterns")
+		}
+	}
+}
+
+// TestAdjSymmetry: adjacency is symmetric.
+func TestAdjSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		q := randomQuery(r, 2+r.Intn(8))
+		jg, err := NewJoinGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < jg.NumTP; i++ {
+			jg.Adj[i].Each(func(j int) bool {
+				if !jg.Adj[j].Has(i) {
+					t.Fatalf("adjacency asymmetric: %d->%d", i, j)
+				}
+				return true
+			})
+			if jg.Adj[i].Has(i) {
+				t.Fatalf("self-loop at %d", i)
+			}
+		}
+	}
+}
+
+// TestVarSetGraphMatchesQueryGraph: building the join graph from the
+// patterns' variable lists gives the same structure as NewJoinGraph.
+func TestVarSetGraphMatchesQueryGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		q := randomQuery(r, 2+r.Intn(8))
+		jg, err := NewJoinGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		varSets := make([][]string, len(q.Patterns))
+		for i, tp := range q.Patterns {
+			varSets[i] = tp.Vars()
+		}
+		ug, err := NewJoinGraphFromVarSets(varSets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ug.NumJoinVars() != jg.NumJoinVars() || ug.NumEdges() != jg.NumEdges() {
+			t.Fatalf("unit graph differs: %d/%d vars, %d/%d edges",
+				ug.NumJoinVars(), jg.NumJoinVars(), ug.NumEdges(), jg.NumEdges())
+		}
+		for i := range varSets {
+			if ug.Adj[i] != jg.Adj[i] {
+				t.Fatalf("adjacency differs at %d: %v vs %v", i, ug.Adj[i], jg.Adj[i])
+			}
+		}
+	}
+}
+
+func TestNewJoinGraphFromVarSetsErrors(t *testing.T) {
+	if _, err := NewJoinGraphFromVarSets(nil); err == nil {
+		t.Error("empty unit list accepted")
+	}
+	big := make([][]string, bitset.MaxPatterns+1)
+	if _, err := NewJoinGraphFromVarSets(big); err == nil {
+		t.Error("oversized unit list accepted")
+	}
+}

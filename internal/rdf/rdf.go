@@ -1,0 +1,174 @@
+// Package rdf provides the core RDF data model: dictionary-encoded
+// terms, triples, and the directed labeled RDF graph G_R = (V_R, E_R)
+// of paper §II-A.
+//
+// Terms (IRIs and literals) are interned into a Dict, so a triple is
+// three integer IDs. Subjects and objects become graph vertices;
+// predicates become edge labels.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermID identifies an interned term. IDs are dense, starting at 0.
+type TermID uint32
+
+// Triple is a single RDF statement ⟨subject, predicate, object⟩.
+type Triple struct {
+	S, P, O TermID
+}
+
+// Less orders triples lexicographically by (S, P, O).
+func (t Triple) Less(u Triple) bool {
+	if t.S != u.S {
+		return t.S < u.S
+	}
+	if t.P != u.P {
+		return t.P < u.P
+	}
+	return t.O < u.O
+}
+
+// Dict interns term strings and assigns dense TermIDs.
+// The zero value is ready to use.
+type Dict struct {
+	ids   map[string]TermID
+	terms []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{ids: make(map[string]TermID)} }
+
+// Intern returns the ID for term, assigning a fresh one if needed.
+func (d *Dict) Intern(term string) TermID {
+	if d.ids == nil {
+		d.ids = make(map[string]TermID)
+	}
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.ids[term] = id
+	d.terms = append(d.terms, term)
+	return id
+}
+
+// Lookup returns the ID for term, if it has been interned.
+func (d *Dict) Lookup(term string) (TermID, bool) {
+	id, ok := d.ids[term]
+	return id, ok
+}
+
+// Term returns the string for id. It panics if id was never assigned.
+func (d *Dict) Term(id TermID) string { return d.terms[id] }
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// Dataset is a set of triples together with the dictionary that
+// encodes them.
+type Dataset struct {
+	Dict    *Dict
+	Triples []Triple
+}
+
+// NewDataset returns an empty dataset with a fresh dictionary.
+func NewDataset() *Dataset { return &Dataset{Dict: NewDict()} }
+
+// Add interns the three terms and appends the triple.
+func (ds *Dataset) Add(s, p, o string) Triple {
+	t := Triple{ds.Dict.Intern(s), ds.Dict.Intern(p), ds.Dict.Intern(o)}
+	ds.Triples = append(ds.Triples, t)
+	return t
+}
+
+// AddTriple appends an already-encoded triple.
+func (ds *Dataset) AddTriple(t Triple) { ds.Triples = append(ds.Triples, t) }
+
+// Len returns the number of triples.
+func (ds *Dataset) Len() int { return len(ds.Triples) }
+
+// Dedup sorts the triples and removes exact duplicates.
+func (ds *Dataset) Dedup() {
+	sort.Slice(ds.Triples, func(i, j int) bool { return ds.Triples[i].Less(ds.Triples[j]) })
+	out := ds.Triples[:0]
+	for i, t := range ds.Triples {
+		if i == 0 || t != ds.Triples[i-1] {
+			out = append(out, t)
+		}
+	}
+	ds.Triples = out
+}
+
+// String renders a triple using the dataset's dictionary, for debugging.
+func (ds *Dataset) String(t Triple) string {
+	return fmt.Sprintf("<%s> <%s> <%s>", ds.Dict.Term(t.S), ds.Dict.Term(t.P), ds.Dict.Term(t.O))
+}
+
+// Edge is one outgoing or incoming labeled edge of a graph vertex.
+type Edge struct {
+	Pred TermID // edge label (predicate)
+	To   TermID // neighbor vertex (object for Out, subject for In)
+}
+
+// Graph is the directed labeled RDF graph view of a dataset: for every
+// vertex (term appearing as a subject or object) it records the
+// outgoing and incoming labeled edges.
+type Graph struct {
+	out map[TermID][]Edge
+	in  map[TermID][]Edge
+	n   int // triple count
+}
+
+// NewGraph builds the graph view of the given triples.
+func NewGraph(triples []Triple) *Graph {
+	g := &Graph{out: make(map[TermID][]Edge), in: make(map[TermID][]Edge)}
+	for _, t := range triples {
+		g.Add(t)
+	}
+	return g
+}
+
+// Add inserts one triple into the graph.
+func (g *Graph) Add(t Triple) {
+	g.out[t.S] = append(g.out[t.S], Edge{Pred: t.P, To: t.O})
+	g.in[t.O] = append(g.in[t.O], Edge{Pred: t.P, To: t.S})
+	g.n++
+}
+
+// Out returns the outgoing edges of v (v as subject).
+func (g *Graph) Out(v TermID) []Edge { return g.out[v] }
+
+// In returns the incoming edges of v (v as object).
+func (g *Graph) In(v TermID) []Edge { return g.in[v] }
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return g.n }
+
+// Vertices calls f once for every vertex of the graph (any term that
+// appears as a subject or object). Iteration stops if f returns false.
+func (g *Graph) Vertices(f func(v TermID) bool) {
+	seen := make(map[TermID]bool, len(g.out)+len(g.in))
+	for v := range g.out {
+		seen[v] = true
+		if !f(v) {
+			return
+		}
+	}
+	for v := range g.in {
+		if !seen[v] {
+			if !f(v) {
+				return
+			}
+		}
+	}
+}
+
+// NumVertices returns the number of distinct vertices.
+func (g *Graph) NumVertices() int {
+	n := 0
+	g.Vertices(func(TermID) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,165 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("a")
+	b := d.Intern("b")
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if d.Intern("a") != a {
+		t.Error("re-interning returned a different ID")
+	}
+	if d.Term(a) != "a" || d.Term(b) != "b" {
+		t.Error("Term round-trip failed")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if id, ok := d.Lookup("b"); !ok || id != b {
+		t.Error("Lookup failed")
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup of missing term succeeded")
+	}
+}
+
+func TestDictZeroValue(t *testing.T) {
+	var d Dict
+	id := d.Intern("x")
+	if d.Term(id) != "x" {
+		t.Error("zero-value Dict unusable")
+	}
+}
+
+func TestDatasetAddAndString(t *testing.T) {
+	ds := NewDataset()
+	tr := ds.Add("s", "p", "o")
+	if ds.Len() != 1 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if got := ds.String(tr); got != "<s> <p> <o>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDatasetDedup(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("a", "p", "b")
+	ds.Add("a", "p", "b")
+	ds.Add("b", "p", "c")
+	ds.Add("a", "p", "b")
+	ds.Dedup()
+	if ds.Len() != 2 {
+		t.Fatalf("after Dedup Len = %d, want 2", ds.Len())
+	}
+	// Dedup also sorts.
+	if !ds.Triples[0].Less(ds.Triples[1]) {
+		t.Error("Dedup did not sort")
+	}
+}
+
+func TestTripleLess(t *testing.T) {
+	a := Triple{1, 1, 1}
+	cases := []struct {
+		b    Triple
+		want bool
+	}{
+		{Triple{2, 0, 0}, true},
+		{Triple{1, 2, 0}, true},
+		{Triple{1, 1, 2}, true},
+		{Triple{1, 1, 1}, false},
+		{Triple{0, 9, 9}, false},
+	}
+	for _, c := range cases {
+		if a.Less(c.b) != c.want {
+			t.Errorf("Less(%v, %v) = %v, want %v", a, c.b, a.Less(c.b), c.want)
+		}
+	}
+}
+
+func TestGraphEdges(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("a", "p", "b")
+	ds.Add("a", "q", "c")
+	ds.Add("b", "p", "c")
+	g := NewGraph(ds.Triples)
+
+	aid, _ := ds.Dict.Lookup("a")
+	bid, _ := ds.Dict.Lookup("b")
+	cid, _ := ds.Dict.Lookup("c")
+
+	if len(g.Out(aid)) != 2 {
+		t.Errorf("Out(a) = %v", g.Out(aid))
+	}
+	if len(g.In(cid)) != 2 {
+		t.Errorf("In(c) = %v", g.In(cid))
+	}
+	if len(g.Out(cid)) != 0 {
+		t.Errorf("Out(c) = %v", g.Out(cid))
+	}
+	if len(g.In(bid)) != 1 || g.In(bid)[0].To != aid {
+		t.Errorf("In(b) = %v", g.In(bid))
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	}
+}
+
+func TestGraphVerticesEarlyStop(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("a", "p", "b")
+	ds.Add("c", "p", "d")
+	g := NewGraph(ds.Triples)
+	n := 0
+	g.Vertices(func(TermID) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("visited %d vertices after early stop", n)
+	}
+}
+
+// Property: interning a list of strings and resolving the IDs returns
+// the original strings.
+func TestQuickDictRoundTrip(t *testing.T) {
+	f := func(terms []string) bool {
+		d := NewDict()
+		for _, s := range terms {
+			if d.Term(d.Intern(s)) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every triple contributes exactly one Out and one In edge.
+func TestQuickGraphDegreeSum(t *testing.T) {
+	f := func(raw []struct{ S, P, O uint8 }) bool {
+		triples := make([]Triple, len(raw))
+		for i, r := range raw {
+			triples[i] = Triple{TermID(r.S), TermID(r.P), TermID(r.O)}
+		}
+		g := NewGraph(triples)
+		outSum, inSum := 0, 0
+		g.Vertices(func(v TermID) bool {
+			outSum += len(g.Out(v))
+			inSum += len(g.In(v))
+			return true
+		})
+		return outSum == len(triples) && inSum == len(triples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package sparql
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that everything it
+// accepts survives a String/Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?x <p> ?y . }`,
+		`SELECT ?x WHERE { ?x a <C> }`,
+		`PREFIX ub: <http://u#> SELECT ?x ?y WHERE { ?x ub:p ?y . ?y ub:q "lit"@en . }`,
+		`SELECT * WHERE { ?x <p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+		`SELECT`, `{`, `PREFIX : <`, "SELECT * WHERE { ?x ?p ?y . ?y ?q ?z }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through the printer.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", q.String(), err)
+		}
+		if len(q2.Patterns) != len(q.Patterns) {
+			t.Fatalf("round trip changed pattern count: %d vs %d", len(q2.Patterns), len(q.Patterns))
+		}
+	})
+}

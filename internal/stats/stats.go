@@ -1,0 +1,265 @@
+// Package stats holds per-triple-pattern statistics — the cardinality
+// |tp| and the distinct-binding counts B(tp, v) — and implements the
+// join cardinality estimation of the paper's appendix B (Eq. 10–11):
+//
+//	|tp1 ⋈ tp2| = |tp1|·|tp2| / ∏_{v ∈ shared} max B(tp_i, v)
+//
+// extended to multi-pattern subqueries by left-folding in pattern
+// index order (Eq. 11). An Estimator memoizes per-subquery results, as
+// the plan enumerator asks for the same subqueries many times.
+package stats
+
+import (
+	"fmt"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+)
+
+// PatternStats describes the bindings of one triple pattern.
+type PatternStats struct {
+	// Card is the number of triples matching the pattern.
+	Card float64
+	// Bindings maps each variable of the pattern to its number of
+	// distinct bindings (B(tp, v) of appendix B).
+	Bindings map[string]float64
+}
+
+// Stats aligns one PatternStats with each pattern of a query.
+type Stats struct {
+	Patterns []PatternStats
+}
+
+// Collect scans the dataset once per pattern and computes exact
+// statistics: match counts and distinct bindings per variable.
+func Collect(ds *rdf.Dataset, q *sparql.Query) (*Stats, error) {
+	s := &Stats{Patterns: make([]PatternStats, len(q.Patterns))}
+	for i, tp := range q.Patterns {
+		ps, err := collectPattern(ds, tp)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		s.Patterns[i] = ps
+	}
+	return s, nil
+}
+
+func collectPattern(ds *rdf.Dataset, tp sparql.TriplePattern) (PatternStats, error) {
+	ps := PatternStats{Bindings: map[string]float64{}}
+	// Resolve constant terms; an unknown constant matches nothing.
+	resolve := func(t sparql.Term) (rdf.TermID, bool, error) {
+		if t.IsVar() {
+			return 0, false, nil
+		}
+		id, ok := ds.Dict.Lookup(t.Value)
+		if !ok {
+			return 0, true, errUnknown
+		}
+		return id, true, nil
+	}
+	sid, sConst, errS := resolve(tp.S)
+	pid, pConst, errP := resolve(tp.P)
+	oid, oConst, errO := resolve(tp.O)
+	if errS != nil || errP != nil || errO != nil {
+		// Constant not in dictionary: zero matches, one binding floor.
+		for _, v := range tp.Vars() {
+			ps.Bindings[v] = 1
+		}
+		ps.Card = 0
+		return ps, nil
+	}
+	distinct := map[string]map[rdf.TermID]struct{}{}
+	for _, v := range tp.Vars() {
+		distinct[v] = map[rdf.TermID]struct{}{}
+	}
+	note := func(t sparql.Term, id rdf.TermID) {
+		if t.IsVar() {
+			distinct[t.Value][id] = struct{}{}
+		}
+	}
+	for _, tr := range ds.Triples {
+		if sConst && tr.S != sid {
+			continue
+		}
+		if pConst && tr.P != pid {
+			continue
+		}
+		if oConst && tr.O != oid {
+			continue
+		}
+		ps.Card++
+		note(tp.S, tr.S)
+		note(tp.P, tr.P)
+		note(tp.O, tr.O)
+	}
+	for v, set := range distinct {
+		b := float64(len(set))
+		if b < 1 {
+			b = 1
+		}
+		ps.Bindings[v] = b
+	}
+	return ps, nil
+}
+
+var errUnknown = fmt.Errorf("unknown constant")
+
+// CollectSampled estimates statistics from a systematic sample of the
+// dataset: every k-th triple is examined and counts are scaled by k.
+// Distinct-binding counts are scaled the same way — a first-order
+// estimate that is exact for keys appearing once and conservative for
+// heavy hitters. rate must be in (0, 1]; rate 1 is exact collection.
+// Use it when the dataset is too large to scan per pattern.
+func CollectSampled(ds *rdf.Dataset, q *sparql.Query, rate float64) (*Stats, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("stats: sampling rate %v outside (0, 1]", rate)
+	}
+	if rate == 1 {
+		return Collect(ds, q)
+	}
+	step := int(1 / rate)
+	if step < 1 {
+		step = 1
+	}
+	sample := &rdf.Dataset{Dict: ds.Dict}
+	for i := 0; i < len(ds.Triples); i += step {
+		sample.Triples = append(sample.Triples, ds.Triples[i])
+	}
+	s, err := Collect(sample, q)
+	if err != nil {
+		return nil, err
+	}
+	scale := float64(step)
+	for i := range s.Patterns {
+		s.Patterns[i].Card *= scale
+		for v := range s.Patterns[i].Bindings {
+			b := s.Patterns[i].Bindings[v] * scale
+			if b > s.Patterns[i].Card && s.Patterns[i].Card >= 1 {
+				b = s.Patterns[i].Card
+			}
+			s.Patterns[i].Bindings[v] = b
+		}
+	}
+	return s, nil
+}
+
+// Estimator computes and memoizes subquery cardinalities for one
+// query under one Stats.
+type Estimator struct {
+	q     *sparql.Query
+	stats *Stats
+	memo  map[bitset.TPSet]entry
+}
+
+type entry struct {
+	card     float64
+	bindings map[string]float64
+}
+
+// NewEstimator returns an estimator for q with the given statistics.
+// It returns an error if stats does not cover every pattern of q.
+func NewEstimator(q *sparql.Query, s *Stats) (*Estimator, error) {
+	if len(s.Patterns) != len(q.Patterns) {
+		return nil, fmt.Errorf("stats: have %d pattern stats for %d patterns", len(s.Patterns), len(q.Patterns))
+	}
+	return &Estimator{q: q, stats: s, memo: make(map[bitset.TPSet]entry)}, nil
+}
+
+// Cardinality estimates |SQ| for the subquery encoded by set. Folding
+// is performed in pattern-index order, so the estimate is a
+// well-defined function of the set. Disconnected sets are estimated as
+// cross products (the enumerators never request them, but baselines
+// like DP-Bushy cost such plans before discarding them).
+func (e *Estimator) Cardinality(set bitset.TPSet) float64 {
+	return e.resolve(set).card
+}
+
+// Bindings estimates B(SQ, v), the distinct bindings of variable v in
+// the result of the subquery.
+func (e *Estimator) Bindings(set bitset.TPSet, v string) float64 {
+	b, ok := e.resolve(set).bindings[v]
+	if !ok {
+		return 1
+	}
+	return b
+}
+
+func (e *Estimator) resolve(set bitset.TPSet) entry {
+	if set.IsEmpty() {
+		return entry{card: 1}
+	}
+	if got, ok := e.memo[set]; ok {
+		return got
+	}
+	first := set.Min()
+	cur := e.base(first)
+	set.Each(func(i int) bool {
+		if i == first {
+			return true
+		}
+		cur = e.join(cur, e.base(i))
+		return true
+	})
+	e.memo[set] = cur
+	return cur
+}
+
+func (e *Estimator) base(i int) entry {
+	ps := e.stats.Patterns[i]
+	b := make(map[string]float64, len(ps.Bindings))
+	for v, n := range ps.Bindings {
+		b[v] = n
+	}
+	return entry{card: ps.Card, bindings: b}
+}
+
+// join applies Eq. 10, generalized to intermediate results: the
+// binding count of a shared variable after the join is the smaller of
+// the two sides'; a variable present on one side only keeps its count,
+// capped by the output cardinality.
+func (e *Estimator) join(l, r entry) entry {
+	denom := 1.0
+	shared := false
+	for v, lb := range l.bindings {
+		rb, ok := r.bindings[v]
+		if !ok {
+			continue
+		}
+		shared = true
+		m := lb
+		if rb > m {
+			m = rb
+		}
+		if m < 1 {
+			m = 1
+		}
+		denom *= m
+	}
+	card := l.card * r.card / denom
+	_ = shared // disconnected folds degrade to the cross product l.card*r.card
+	out := entry{card: card, bindings: make(map[string]float64, len(l.bindings)+len(r.bindings))}
+	for v, lb := range l.bindings {
+		b := lb
+		if rb, ok := r.bindings[v]; ok && rb < b {
+			b = rb
+		}
+		out.bindings[v] = capBinding(b, card)
+	}
+	for v, rb := range r.bindings {
+		if _, ok := l.bindings[v]; !ok {
+			out.bindings[v] = capBinding(rb, card)
+		}
+	}
+	return out
+}
+
+func capBinding(b, card float64) float64 {
+	if card >= 1 && b > card {
+		b = card
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

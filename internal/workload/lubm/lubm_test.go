@@ -1,0 +1,133 @@
+package lubm
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlopt/internal/engine"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/rdf"
+)
+
+func compactDataset(t *testing.T) *rdf.Dataset {
+	t.Helper()
+	return Generate(Config{Universities: 7, Seed: 1, Compact: true})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Universities: 1, Seed: 5, Compact: true})
+	b := Generate(Config{Universities: 1, Seed: 5, Compact: true})
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic: %d vs %d triples", a.Len(), b.Len())
+	}
+	c := Generate(Config{Universities: 1, Seed: 6, Compact: true})
+	if a.Len() == c.Len() {
+		t.Log("different seeds produced same size (possible but unlikely)")
+	}
+}
+
+func TestGenerateScales(t *testing.T) {
+	small := Generate(Config{Universities: 1, Seed: 1, Compact: true})
+	big := Generate(Config{Universities: 3, Seed: 1, Compact: true})
+	if big.Len() < 2*small.Len() {
+		t.Errorf("3 universities (%d triples) not ~3x of 1 (%d)", big.Len(), small.Len())
+	}
+}
+
+func TestBenchmarkConstantsExist(t *testing.T) {
+	ds := compactDataset(t)
+	for _, uri := range []string{
+		"http://www.Department0.University0.edu",
+		"http://www.University0.edu",
+		"http://www.Department0.University0.edu/AssociateProfessor0",
+		"http://www.Department0.University0.edu/FullProfessor0/Publication0",
+		"http://www.Department2.University6.edu/FullProfessor1/Publication1",
+	} {
+		if _, ok := ds.Dict.Lookup(uri); !ok {
+			t.Errorf("constant %s missing from generated data", uri)
+		}
+	}
+	// Department12 requires non-compact generation.
+	full := Generate(Config{Universities: 1, Seed: 1})
+	if _, ok := full.Dict.Lookup("http://www.Department12.University0.edu/FullProfessor0/Publication0"); !ok {
+		t.Error("L5's publication constant missing at full scale")
+	}
+}
+
+func TestQueriesParseAndClassify(t *testing.T) {
+	wantTPs := map[string]int{
+		"L1": 2, "L2": 2, "L3": 4, "L4": 4, "L5": 8,
+		"L6": 8, "L7": 6, "L8": 6, "L9": 11, "L10": 14,
+	}
+	// Table III classes; L10 in the paper has 12 patterns because two
+	// rdf:type patterns are folded — ours counts the appendix text.
+	for _, name := range QueryNames {
+		q := Query(name)
+		if len(q.Patterns) != wantTPs[name] {
+			t.Errorf("%s has %d patterns, want %d", name, len(q.Patterns), wantTPs[name])
+		}
+		if _, err := querygraph.Build(q); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Table III type checks for the unambiguous ones.
+	for name, want := range map[string]querygraph.Class{
+		"L1": querygraph.Star, "L2": querygraph.Chain,
+		"L7": querygraph.Dense, "L8": querygraph.Dense,
+	} {
+		jg, _ := querygraph.NewJoinGraph(Query(name))
+		if got := jg.Classify(); got != want {
+			t.Errorf("%s classified %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestQueryPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown query")
+		}
+	}()
+	Query("L99")
+}
+
+func TestQueriesReturnResults(t *testing.T) {
+	// The point of the generator: the benchmark queries are non-empty
+	// on generated data (L5 needs Department12, absent in compact
+	// mode, and very selective chains may be empty at tiny scale —
+	// tolerate emptiness only there).
+	ds := compactDataset(t)
+	mustMatch := map[string]bool{
+		"L1": true, "L2": true, "L3": true, "L4": true, "L6": true,
+		"L7": true, "L8": true, "L9": true, "L10": true,
+	}
+	for _, name := range QueryNames {
+		res, err := engine.Reference(ds, Query(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mustMatch[name] && len(res.Rows) == 0 {
+			t.Errorf("%s returned no results on generated data", name)
+		}
+		t.Logf("%s: %d results", name, len(res.Rows))
+	}
+}
+
+func TestL5NonEmptyAtFullScale(t *testing.T) {
+	// L5 names Department12's publication, which exists only outside
+	// compact mode.
+	ds := Generate(Config{Universities: 1, Seed: 1})
+	res, err := engine.Reference(ds, Query("L5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("L5 returned no results at full scale")
+	}
+}
+
+func TestQueryText(t *testing.T) {
+	if !strings.Contains(QueryText("L1"), "ResearchGroup") {
+		t.Error("QueryText(L1) wrong")
+	}
+}

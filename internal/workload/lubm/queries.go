@@ -1,0 +1,132 @@
+package lubm
+
+import "sparqlopt/internal/sparql"
+
+// prefixes shared by all benchmark queries.
+const prefixes = `
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+`
+
+// queryTexts holds L1–L10 exactly as printed in the paper's appendix,
+// with the abbreviated entity constants expanded to this generator's
+// URIs.
+var queryTexts = map[string]string{
+	"L1": prefixes + `
+SELECT ?x WHERE {
+	?x rdf:type ub:ResearchGroup .
+	?x ub:subOrganizationOf <http://www.Department0.University0.edu> .
+}`,
+	"L2": prefixes + `
+SELECT ?x ?y WHERE {
+	?x ub:worksFor ?y .
+	?y ub:subOrganizationOf <http://www.University0.edu> .
+}`,
+	"L3": prefixes + `
+SELECT ?x ?y WHERE {
+	?x rdf:type ub:GraduateStudent .
+	<http://www.Department0.University0.edu/AssociateProfessor0> ub:teacherOf ?y .
+	?y rdf:type ub:GraduateCourse .
+	?x ub:takesCourse ?y .
+}`,
+	"L4": prefixes + `
+SELECT ?x ?y WHERE {
+	?x ub:worksFor ?y .
+	?y rdf:type ub:Department .
+	?x rdf:type ub:FullProfessor .
+	?y ub:subOrganizationOf <http://www.University0.edu> .
+}`,
+	"L5": prefixes + `
+SELECT ?x ?w WHERE {
+	?x ub:advisor ?y .
+	?y ub:worksFor ?z .
+	?x rdf:type ub:GraduateStudent .
+	?z ub:subOrganizationOf ?w .
+	?w ub:name ?u .
+	?z rdf:type ub:Department .
+	?w rdf:type ub:University .
+	<http://www.Department12.University0.edu/FullProfessor0/Publication0> ub:publicationAuthor ?x .
+}`,
+	"L6": prefixes + `
+SELECT ?x ?p WHERE {
+	?x ub:advisor ?y .
+	?y ub:worksFor ?z .
+	?x rdf:type ub:GraduateStudent .
+	<http://www.Department0.University0.edu/FullProfessor0/Publication0> ub:publicationAuthor ?x .
+	?p ub:name ?n .
+	?z rdf:type ub:Department .
+	?z ub:subOrganizationOf ?w .
+	?p ub:publicationAuthor ?x .
+}`,
+	"L7": prefixes + `
+SELECT ?x ?y ?z WHERE {
+	?z ub:subOrganizationOf ?y .
+	?y rdf:type ub:University .
+	?z rdf:type ub:Department .
+	?x rdf:type ub:GraduateStudent .
+	?x ub:memberOf ?z .
+	?x ub:undergraduateDegreeFrom ?y .
+}`,
+	"L8": prefixes + `
+SELECT ?x ?y ?z WHERE {
+	?y ub:teacherOf ?z .
+	?y rdf:type ub:FullProfessor .
+	?z rdf:type ub:Course .
+	?x ub:takesCourse ?z .
+	?x rdf:type ub:UndergraduateStudent .
+	?x ub:advisor ?y .
+}`,
+	"L9": prefixes + `
+SELECT ?x ?y ?f ?c ?p ?n WHERE {
+	?y rdf:type ub:University .
+	?x rdf:type ub:GraduateStudent .
+	?x ub:undergraduateDegreeFrom ?y .
+	?f rdf:type ub:FullProfessor .
+	?x ub:advisor ?f .
+	?x ub:takesCourse ?c .
+	?f ub:teacherOf ?c .
+	?c rdf:type ub:GraduateCourse .
+	<http://www.Department2.University6.edu/FullProfessor1/Publication1> ub:publicationAuthor ?f .
+	?p ub:publicationAuthor ?f .
+	?p ub:name ?n .
+}`,
+	"L10": prefixes + `
+SELECT ?x ?y ?z ?f ?c ?p ?n WHERE {
+	?z ub:subOrganizationOf ?y .
+	?y rdf:type ub:University .
+	?z rdf:type ub:Department .
+	?x ub:memberOf ?z .
+	?x rdf:type ub:GraduateStudent .
+	?x ub:undergraduateDegreeFrom ?y .
+	?f rdf:type ub:FullProfessor .
+	?x ub:advisor ?f .
+	?x ub:takesCourse ?c .
+	?f ub:teacherOf ?c .
+	?c rdf:type ub:GraduateCourse .
+	<http://www.Department2.University6.edu/FullProfessor1/Publication1> ub:publicationAuthor ?f .
+	?p ub:publicationAuthor ?f .
+	?p ub:name ?n .
+}`,
+}
+
+// QueryNames lists the benchmark queries in the paper's order.
+var QueryNames = []string{"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10"}
+
+// Query parses benchmark query name (L1–L10). It panics on an unknown
+// name — the names are compile-time fixtures.
+func Query(name string) *sparql.Query {
+	text, ok := queryTexts[name]
+	if !ok {
+		panic("lubm: unknown query " + name)
+	}
+	return sparql.MustParse(text)
+}
+
+// QueryText returns the SPARQL source of a benchmark query.
+func QueryText(name string) string {
+	text, ok := queryTexts[name]
+	if !ok {
+		panic("lubm: unknown query " + name)
+	}
+	return text
+}

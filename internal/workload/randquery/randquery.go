@@ -1,0 +1,184 @@
+// Package randquery implements the paper's query generator (§V-A): it
+// "randomly generates chain, cycle, tree and dense queries (recall
+// §II-B), which are not sufficiently represented in the benchmarks",
+// plus star queries. Following the paper, the cardinality of each
+// triple pattern is a random integer in [1, 1000] and the number of
+// bindings of each variable in a pattern is a random integer in
+// [1, cardinality].
+package randquery
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
+)
+
+// MaxCardinality is the upper bound of random pattern cardinalities
+// (the paper also used 100,000, "which does not affect any of our
+// conclusions").
+const MaxCardinality = 1000
+
+// Generate builds a random query of the given class with n triple
+// patterns and random statistics drawn from [1, MaxCardinality]. It
+// panics when n is too small to express the class (cycles need 3
+// patterns, everything else 2) — class/size combinations are fixed by
+// the experiment definitions.
+func Generate(class querygraph.Class, n int, seed int64) (*sparql.Query, *stats.Stats) {
+	return GenerateWithMax(class, n, seed, MaxCardinality)
+}
+
+// GenerateWithMax is Generate with an explicit cardinality upper
+// bound; the paper also ran its study with 100,000 ("which does not
+// affect any of our conclusions").
+func GenerateWithMax(class querygraph.Class, n int, seed int64, maxCard int) (*sparql.Query, *stats.Stats) {
+	r := rand.New(rand.NewSource(seed))
+	var q *sparql.Query
+	switch class {
+	case querygraph.Star:
+		q = star(n)
+	case querygraph.Chain:
+		q = chain(n)
+	case querygraph.Cycle:
+		if n < 3 {
+			panic("randquery: cycles need at least 3 patterns")
+		}
+		q = cycle(n)
+	case querygraph.Tree:
+		q = tree(r, n)
+	case querygraph.Dense:
+		q = dense(r, n)
+	default:
+		panic(fmt.Sprintf("randquery: unknown class %d", class))
+	}
+	if n < 2 {
+		panic("randquery: need at least 2 patterns")
+	}
+	return q, AttachWithMax(r, q, maxCard)
+}
+
+// Attach draws random statistics for q as specified in §V-A.
+func Attach(r *rand.Rand, q *sparql.Query) *stats.Stats {
+	return AttachWithMax(r, q, MaxCardinality)
+}
+
+// AttachWithMax is Attach with an explicit cardinality upper bound.
+func AttachWithMax(r *rand.Rand, q *sparql.Query, maxCard int) *stats.Stats {
+	if maxCard < 1 {
+		panic("randquery: cardinality bound must be positive")
+	}
+	s := &stats.Stats{}
+	for _, tp := range q.Patterns {
+		card := float64(1 + r.Intn(maxCard))
+		b := map[string]float64{}
+		for _, v := range tp.Vars() {
+			b[v] = float64(1 + r.Intn(int(card)))
+		}
+		s.Patterns = append(s.Patterns, stats.PatternStats{Card: card, Bindings: b})
+	}
+	return s
+}
+
+func pat(s, p, o string) sparql.TriplePattern {
+	return sparql.TriplePattern{S: sparql.V(s), P: sparql.I(p), O: sparql.V(o)}
+}
+
+func star(n int) *sparql.Query {
+	q := &sparql.Query{}
+	for i := 0; i < n; i++ {
+		q.Patterns = append(q.Patterns, pat(fmt.Sprintf("s%d", i), fmt.Sprintf("p%d", i), "c"))
+	}
+	return q
+}
+
+func chain(n int) *sparql.Query {
+	q := &sparql.Query{}
+	for i := 0; i < n; i++ {
+		q.Patterns = append(q.Patterns, pat(fmt.Sprintf("x%d", i), fmt.Sprintf("p%d", i), fmt.Sprintf("x%d", i+1)))
+	}
+	return q
+}
+
+func cycle(n int) *sparql.Query {
+	q := chain(n - 1)
+	q.Patterns = append(q.Patterns, pat(fmt.Sprintf("x%d", n-1), "pc", "x0"))
+	return q
+}
+
+// tree grows a random acyclic join graph that is neither a star nor a
+// chain: a 3-ray star core plus random attachments, each introducing a
+// fresh variable (so no cycles ever form).
+func tree(r *rand.Rand, n int) *sparql.Query {
+	q := &sparql.Query{}
+	vars := []string{"x0"}
+	fresh := func() string {
+		v := fmt.Sprintf("x%d", len(vars))
+		vars = append(vars, v)
+		return v
+	}
+	for i := 0; i < n; i++ {
+		var anchor string
+		if i < 3 && n >= 4 {
+			anchor = "x0" // the star core guarantees a degree-3 variable
+		} else if n >= 4 {
+			// Attach away from the core so the result is never a pure
+			// star (some pattern must not contain x0).
+			anchor = vars[1+r.Intn(len(vars)-1)]
+		} else {
+			anchor = vars[r.Intn(len(vars))]
+		}
+		leaf := fresh()
+		if r.Intn(2) == 0 {
+			q.Patterns = append(q.Patterns, pat(anchor, fmt.Sprintf("p%d", i), leaf))
+		} else {
+			q.Patterns = append(q.Patterns, pat(leaf, fmt.Sprintf("p%d", i), anchor))
+		}
+	}
+	return q
+}
+
+// dense grows a random join graph with at least one cycle that is not
+// a pure cycle: a random tree with extra chords between existing
+// variables.
+func dense(r *rand.Rand, n int) *sparql.Query {
+	if n < 4 {
+		// The smallest dense shapes: a triangle with a tail.
+		q := cycle(3)
+		for i := 3; i < n; i++ {
+			q.Patterns = append(q.Patterns, pat("x0", fmt.Sprintf("t%d", i), fmt.Sprintf("y%d", i)))
+		}
+		return q
+	}
+	chords := 1 + r.Intn(max(1, n/4))
+	treeSize := n - chords
+	q := tree(r, treeSize)
+	// Collect the variables of the tree.
+	seen := map[string]bool{}
+	var vars []string
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	for i := 0; i < chords; i++ {
+		a := vars[r.Intn(len(vars))]
+		b := vars[r.Intn(len(vars))]
+		for b == a {
+			b = vars[r.Intn(len(vars))]
+		}
+		q.Patterns = append(q.Patterns, pat(a, fmt.Sprintf("c%d", i), b))
+	}
+	return q
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

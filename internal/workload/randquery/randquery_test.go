@@ -1,0 +1,129 @@
+package randquery
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/stats"
+)
+
+func TestClassesClassifyCorrectly(t *testing.T) {
+	for _, class := range []querygraph.Class{
+		querygraph.Star, querygraph.Chain, querygraph.Cycle, querygraph.Tree, querygraph.Dense,
+	} {
+		for n := 4; n <= 20; n += 4 {
+			for seed := int64(0); seed < 5; seed++ {
+				q, _ := Generate(class, n, seed)
+				if len(q.Patterns) != n {
+					t.Fatalf("%v n=%d: %d patterns", class, n, len(q.Patterns))
+				}
+				jg, err := querygraph.NewJoinGraph(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := jg.Classify(); got != class {
+					t.Errorf("%v n=%d seed=%d classified as %v", class, n, seed, got)
+				}
+				if !jg.Connected(jg.All()) {
+					t.Errorf("%v n=%d seed=%d disconnected", class, n, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsRanges(t *testing.T) {
+	q, s := Generate(querygraph.Dense, 12, 7)
+	if len(s.Patterns) != len(q.Patterns) {
+		t.Fatalf("stats misaligned")
+	}
+	for i, ps := range s.Patterns {
+		if ps.Card < 1 || ps.Card > MaxCardinality {
+			t.Errorf("pattern %d card %v out of range", i, ps.Card)
+		}
+		for v, b := range ps.Bindings {
+			if b < 1 || b > ps.Card {
+				t.Errorf("pattern %d B(%s) = %v outside [1, %v]", i, v, b, ps.Card)
+			}
+		}
+	}
+	// Estimator accepts the stats.
+	if _, err := stats.NewEstimator(q, s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	q1, s1 := Generate(querygraph.Tree, 10, 42)
+	q2, s2 := Generate(querygraph.Tree, 10, 42)
+	if q1.String() != q2.String() {
+		t.Error("queries differ across identical seeds")
+	}
+	for i := range s1.Patterns {
+		if s1.Patterns[i].Card != s2.Patterns[i].Card {
+			t.Error("stats differ across identical seeds")
+		}
+	}
+	q3, _ := Generate(querygraph.Tree, 10, 43)
+	if q1.String() == q3.String() {
+		t.Log("different seeds gave same tree (possible for small n)")
+	}
+}
+
+func TestSmallDense(t *testing.T) {
+	q, _ := Generate(querygraph.Dense, 3, 1)
+	jg, err := querygraph.NewJoinGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jg.Classify(); got != querygraph.Cycle && got != querygraph.Dense {
+		t.Errorf("dense n=3 classified %v", got)
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		class querygraph.Class
+		n     int
+	}{
+		{"cycle too small", querygraph.Cycle, 2},
+		{"one pattern", querygraph.Chain, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			Generate(tc.class, tc.n, 0)
+		})
+	}
+}
+
+func TestGenerateWithMaxRange(t *testing.T) {
+	_, s := GenerateWithMax(querygraph.Tree, 10, 5, 100000)
+	over1000 := false
+	for _, ps := range s.Patterns {
+		if ps.Card > 100000 {
+			t.Errorf("card %v exceeds bound", ps.Card)
+		}
+		if ps.Card > 1000 {
+			over1000 = true
+		}
+	}
+	if !over1000 {
+		t.Error("no cardinality above 1000; bound not applied (possible but very unlikely)")
+	}
+}
+
+func TestAttachWithMaxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero bound")
+		}
+	}()
+	q, _ := Generate(querygraph.Chain, 3, 1)
+	AttachWithMax(rand.New(rand.NewSource(1)), q, 0)
+}

@@ -1,0 +1,68 @@
+package uniprot
+
+import (
+	"testing"
+
+	"sparqlopt/internal/engine"
+	"sparqlopt/internal/querygraph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Proteins: 100, Seed: 3})
+	b := Generate(Config{Proteins: 100, Seed: 3})
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic: %d vs %d", a.Len(), b.Len())
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	wantTPs := map[string]int{"U1": 5, "U2": 5, "U3": 11, "U4": 6, "U5": 5}
+	for _, name := range QueryNames {
+		q := Query(name)
+		if len(q.Patterns) != wantTPs[name] {
+			t.Errorf("%s has %d patterns, want %d", name, len(q.Patterns), wantTPs[name])
+		}
+		if _, err := querygraph.Build(q); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Table III: U1 star, U2 chain.
+	for name, want := range map[string]querygraph.Class{
+		"U1": querygraph.Star, "U2": querygraph.Chain,
+	} {
+		jg, _ := querygraph.NewJoinGraph(Query(name))
+		if got := jg.Classify(); got != want {
+			t.Errorf("%s classified %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestQueriesReturnResults(t *testing.T) {
+	ds := Generate(Config{Proteins: 300, Seed: 2})
+	for _, name := range QueryNames {
+		res, err := engine.Reference(ds, Query(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%s returned no results on generated data", name)
+		}
+		t.Logf("%s: %d results", name, len(res.Rows))
+	}
+}
+
+func TestQueryPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Query("U9")
+}
+
+func TestMinimumScaleEnforced(t *testing.T) {
+	ds := Generate(Config{Proteins: 1, Seed: 1})
+	if ds.Len() < 100 {
+		t.Errorf("tiny scale produced only %d triples; floor not applied", ds.Len())
+	}
+}

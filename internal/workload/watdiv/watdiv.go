@@ -1,0 +1,209 @@
+// Package watdiv reproduces the stress-testing workload of the
+// Waterloo SPARQL Diversity Test Suite as the paper uses it (§V-A):
+// "124 structurally diverse query templates, each created by a random
+// walk over the graph representation of the data schema and
+// instantiated with 100 queries" — 12,400 queries in total. Most
+// templates are star queries or joins of a few stars, which is the
+// property Figure 6 depends on.
+//
+// Templates are produced by random walks over a WatDiv-like e-commerce
+// schema graph (users, products, reviews, retailers, offers, ...);
+// instantiation draws random cardinalities and binding counts exactly
+// like the random query generator.
+package watdiv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
+	"sparqlopt/internal/workload/randquery"
+)
+
+// NumTemplates matches the suite's template count.
+const NumTemplates = 124
+
+// QueriesPerTemplate matches the suite's instantiation count.
+const QueriesPerTemplate = 100
+
+// Template is one query structure; instantiations share it but vary
+// in statistics.
+type Template struct {
+	// ID is the template index (0-based).
+	ID int
+	// Query is the template's structure.
+	Query *sparql.Query
+}
+
+// schema edge: predicate from one entity class to another.
+type edge struct {
+	pred     string
+	from, to int
+}
+
+// The WatDiv-like schema: entity classes and the predicates between
+// them. Literal-valued predicates point to the pseudo-class lit.
+const (
+	user = iota
+	product
+	review
+	retailer
+	offer
+	website
+	genre
+	country
+	purchase
+	lit
+	numClasses
+)
+
+var schemaEdges = []edge{
+	{"follows", user, user},
+	{"friendOf", user, user},
+	{"likes", user, product},
+	{"subscribes", user, website},
+	{"makesPurchase", user, purchase},
+	{"purchaseFor", purchase, product},
+	{"hasReview", product, review},
+	{"reviewer", review, user},
+	{"rating", review, lit},
+	{"title", product, lit},
+	{"hasGenre", product, genre},
+	{"price", offer, lit},
+	{"offers", retailer, offer},
+	{"offerFor", offer, product},
+	{"homepage", retailer, website},
+	{"hits", website, lit},
+	{"language", product, lit},
+	{"nationality", user, country},
+	{"age", user, lit},
+	{"artist", product, user},
+	{"caption", product, lit},
+	{"contentRating", product, lit},
+	{"validThrough", offer, lit},
+	{"location", retailer, country},
+}
+
+// Templates generates the deterministic template set for a seed.
+func Templates(seed int64) []Template {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Template, 0, NumTemplates)
+	for len(out) < NumTemplates {
+		q := walk(r)
+		if q != nil {
+			out = append(out, Template{ID: len(out), Query: q})
+		}
+	}
+	return out
+}
+
+// walk performs one random walk over the schema graph, producing a
+// connected template of 2–10 triple patterns. The walk is star-biased:
+// from the current entity it usually emits several incident predicates
+// before moving to a neighbor, mirroring WatDiv's star-heavy mix.
+func walk(r *rand.Rand) *sparql.Query {
+	q := &sparql.Query{}
+	size := 2 + r.Intn(9)
+	// Variables per live entity; entities carry their class.
+	type entity struct {
+		varName string
+		class   int
+	}
+	varCount := 0
+	fresh := func(class int) entity {
+		v := fmt.Sprintf("v%d", varCount)
+		varCount++
+		return entity{varName: v, class: class}
+	}
+	cur := fresh(user + r.Intn(3)) // start at user, product or review
+	frontier := []entity{cur}
+	for len(q.Patterns) < size {
+		// Pick the walk position: mostly stay, sometimes jump.
+		pos := frontier[len(frontier)-1]
+		if r.Float64() < 0.25 && len(frontier) > 1 {
+			pos = frontier[r.Intn(len(frontier))]
+		}
+		// Choose an incident schema edge.
+		var candidates []edge
+		var outgoing []bool
+		for _, e := range schemaEdges {
+			if e.from == pos.class {
+				candidates = append(candidates, e)
+				outgoing = append(outgoing, true)
+			}
+			if e.to == pos.class && e.to != lit {
+				candidates = append(candidates, e)
+				outgoing = append(outgoing, false)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		i := r.Intn(len(candidates))
+		e, fwd := candidates[i], outgoing[i]
+		var other entity
+		if fwd {
+			other = fresh(e.to)
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{
+				S: sparql.V(pos.varName), P: sparql.I("http://watdiv/" + e.pred), O: sparql.V(other.varName),
+			})
+		} else {
+			other = fresh(e.from)
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{
+				S: sparql.V(other.varName), P: sparql.I("http://watdiv/" + e.pred), O: sparql.V(pos.varName),
+			})
+		}
+		// Literals are dead ends; entities may continue the walk.
+		if other.class != lit && r.Float64() < 0.5 {
+			frontier = append(frontier, other)
+		}
+	}
+	if len(q.Patterns) < 2 {
+		return nil
+	}
+	return q
+}
+
+// Instantiate draws one query instance: the template structure with
+// fresh random statistics.
+func (t Template) Instantiate(seed int64) (*sparql.Query, *stats.Stats) {
+	r := rand.New(rand.NewSource(seed))
+	return t.Query, randquery.Attach(r, t.Query)
+}
+
+// Bind instantiates the template against a dataset the way the real
+// suite does: the walk's start variable is replaced by a constant
+// entity drawn from the data (one that matches the first pattern's
+// predicate), so the query is selective and executable.
+func (t Template) Bind(ds *rdf.Dataset, seed int64) *sparql.Query {
+	r := rand.New(rand.NewSource(seed))
+	first := t.Query.Patterns[0]
+	pid, ok := ds.Dict.Lookup(first.P.Value)
+	if !ok {
+		return t.Query
+	}
+	// Collect candidate subjects for the first pattern's predicate.
+	var candidates []rdf.TermID
+	for _, tr := range ds.Triples {
+		if tr.P == pid {
+			candidates = append(candidates, tr.S)
+		}
+	}
+	if len(candidates) == 0 || !first.S.IsVar() {
+		return t.Query
+	}
+	entity := ds.Dict.Term(candidates[r.Intn(len(candidates))])
+	bound := &sparql.Query{Select: t.Query.Select}
+	for _, tp := range t.Query.Patterns {
+		if tp.S.IsVar() && tp.S.Value == first.S.Value {
+			tp.S = sparql.I(entity)
+		}
+		if tp.O.IsVar() && tp.O.Value == first.S.Value {
+			tp.O = sparql.I(entity)
+		}
+		bound.Patterns = append(bound.Patterns, tp)
+	}
+	return bound
+}

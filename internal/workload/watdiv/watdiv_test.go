@@ -1,0 +1,136 @@
+package watdiv
+
+import (
+	"testing"
+
+	"sparqlopt/internal/engine"
+
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/stats"
+)
+
+func TestTemplatesCountAndShape(t *testing.T) {
+	ts := Templates(1)
+	if len(ts) != NumTemplates {
+		t.Fatalf("%d templates, want %d", len(ts), NumTemplates)
+	}
+	starHeavy := 0
+	for _, tpl := range ts {
+		if tpl.Query == nil || len(tpl.Query.Patterns) < 2 || len(tpl.Query.Patterns) > 10 {
+			t.Fatalf("template %d malformed", tpl.ID)
+		}
+		jg, err := querygraph.NewJoinGraph(tpl.Query)
+		if err != nil {
+			t.Fatalf("template %d: %v", tpl.ID, err)
+		}
+		if !jg.Connected(jg.All()) {
+			t.Errorf("template %d disconnected", tpl.ID)
+		}
+		switch jg.Classify() {
+		case querygraph.Star, querygraph.Tree:
+			starHeavy++
+		}
+	}
+	// "Most query templates in WatDiv are star queries or joins of a
+	// few star queries" — at least half should be stars/trees.
+	if starHeavy < NumTemplates/2 {
+		t.Errorf("only %d/%d templates are star/tree shaped", starHeavy, NumTemplates)
+	}
+}
+
+func TestTemplatesDeterministic(t *testing.T) {
+	a := Templates(9)
+	b := Templates(9)
+	for i := range a {
+		if a[i].Query.String() != b[i].Query.String() {
+			t.Fatalf("template %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	tpl := Templates(1)[0]
+	q, s := tpl.Instantiate(77)
+	if q != tpl.Query {
+		t.Error("instantiation changed the structure")
+	}
+	if len(s.Patterns) != len(q.Patterns) {
+		t.Fatal("stats misaligned")
+	}
+	if _, err := stats.NewEstimator(q, s); err != nil {
+		t.Error(err)
+	}
+	_, s2 := tpl.Instantiate(78)
+	same := true
+	for i := range s.Patterns {
+		if s.Patterns[i].Card != s2.Patterns[i].Card {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different instantiation seeds produced identical stats")
+	}
+}
+
+func TestGenerateDataDeterministic(t *testing.T) {
+	a := GenerateData(DataConfig{Scale: 100, Seed: 5})
+	b := GenerateData(DataConfig{Scale: 100, Seed: 5})
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic: %d vs %d", a.Len(), b.Len())
+	}
+	if a.Len() < 1000 {
+		t.Errorf("only %d triples at scale 100", a.Len())
+	}
+}
+
+func TestGenerateDataMinimumScale(t *testing.T) {
+	ds := GenerateData(DataConfig{Scale: 1, Seed: 1})
+	if ds.Len() == 0 {
+		t.Error("empty dataset at floor scale")
+	}
+}
+
+func TestTemplatesMatchGeneratedData(t *testing.T) {
+	// Every template's predicates exist in the generated data, and a
+	// healthy fraction of templates return results.
+	ds := GenerateData(DataConfig{Scale: 300, Seed: 2})
+	preds := map[string]bool{}
+	for _, tr := range ds.Triples {
+		preds[ds.Dict.Term(tr.P)] = true
+	}
+	templates := Templates(1)
+	nonEmpty, bound := 0, 0
+	for _, tpl := range templates[:40] {
+		for _, tp := range tpl.Query.Patterns {
+			if !preds[tp.P.Value] {
+				t.Fatalf("template %d uses predicate %s absent from data", tpl.ID, tp.P.Value)
+			}
+		}
+		// Bind the start variable to a data entity (as the real suite
+		// does); unbound all-variable templates would blow up.
+		q := tpl.Bind(ds, int64(tpl.ID))
+		hasConst := false
+		for _, tp := range q.Patterns {
+			if !tp.S.IsVar() || !tp.O.IsVar() {
+				hasConst = true
+			}
+		}
+		if !hasConst {
+			continue
+		}
+		bound++
+		res, err := engine.Reference(ds, q)
+		if err != nil {
+			t.Fatalf("template %d: %v", tpl.ID, err)
+		}
+		if len(res.Rows) > 0 {
+			nonEmpty++
+		}
+	}
+	if bound < 20 {
+		t.Errorf("only %d/40 templates could be bound", bound)
+	}
+	if nonEmpty < 5 {
+		t.Errorf("only %d/%d bound templates matched the generated data", nonEmpty, bound)
+	}
+}
