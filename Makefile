@@ -1,0 +1,34 @@
+# Development targets. `make check` is the full gate used before
+# merging: vet, build, the race-instrumented test suite, and a doubled
+# run of the parallel-determinism tests (the most schedule-sensitive
+# ones). Benchmarks that are too slow under the race detector skip
+# themselves (see internal/race).
+
+GO ?= go
+
+.PHONY: all vet build test race determinism bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The determinism tests compare parallel plan costs and search-space
+# counters against the sequential enumerator; -count=2 reruns them to
+# shake out schedule-dependent flakiness.
+determinism:
+	$(GO) test -run TestDeterminism -race -count=2 ./internal/opt/...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+check: vet build race determinism

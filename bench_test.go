@@ -9,7 +9,9 @@ package sparqlopt
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/race"
 	"sparqlopt/internal/workload/lubm"
 	"sparqlopt/internal/workload/randquery"
 )
@@ -76,13 +79,69 @@ func BenchmarkFig6a_WatDivOptTime(b *testing.B) {
 }
 
 // BenchmarkFig7_OptTimeBySize regenerates paper Figs. 7 and 8 in one
-// measurement pass.
+// measurement pass. The full sweep's largest join graphs take minutes
+// under the race detector's instrumentation, so -race runs skip it.
 func BenchmarkFig7_OptTimeBySize(b *testing.B) {
+	if race.Enabled {
+		b.Skip("skipping the huge Fig. 7 join-graph sizes under -race")
+	}
 	cfg := quickBenchConfig()
 	cfg.Timeout = 500 * time.Millisecond
 	for i := 0; i < b.N; i++ {
 		if err := bench.Fig7And8(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeParallel measures the parallel enumerator's
+// speedup over the sequential path on the largest WatDiv/Fig.7-style
+// join graphs, sweeping the parallelism knob. Compare ns/op across
+// P=1/P=4 sub-benchmarks for the speedup; allocs/op tracks the hot
+// path's allocation diet.
+func BenchmarkOptimizeParallel(b *testing.B) {
+	shapes := []struct {
+		name  string
+		class querygraph.Class
+		n     int
+	}{
+		{"tree24", querygraph.Tree, 24},
+		{"dense13", querygraph.Dense, 13},
+		{"cycle24", querygraph.Cycle, 24},
+	}
+	if race.Enabled {
+		// The instrumented build is ~10× slower; keep the shape mix but
+		// shrink the graphs so -race benchmark runs stay bounded.
+		shapes = []struct {
+			name  string
+			class querygraph.Class
+			n     int
+		}{
+			{"tree14", querygraph.Tree, 14},
+			{"dense10", querygraph.Dense, 10},
+			{"cycle14", querygraph.Cycle, 14},
+		}
+	}
+	parallelisms := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, sh := range shapes {
+		q, s := randquery.Generate(sh.class, sh.n, 11)
+		views, err := querygraph.Build(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		est := mustEstimator(b, q, s)
+		for _, p := range parallelisms {
+			b.Run(fmt.Sprintf("%s/P=%d", sh.name, p), func(b *testing.B) {
+				in := &opt.Input{Query: q, Views: views, Est: est,
+					Params: DefaultCostParams(), Method: partition.HashSO{}, Parallelism: p}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := opt.Optimize(context.Background(), in, opt.TDCMD); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -15,6 +15,8 @@
 //	-quick       shrink datasets and instance counts for a fast pass
 //	-nodes       simulated cluster size (default 10, as in the paper)
 //	-seed        generator seed (default 1)
+//	-parallelism optimizer worker goroutines (0 = all cores, 1 =
+//	             sequential; identical plan costs either way)
 //
 // Examples:
 //
@@ -38,17 +40,19 @@ func main() {
 		quick      = flag.Bool("quick", false, "small datasets and instance counts")
 		nodes      = flag.Int("nodes", 0, "simulated cluster size (0 = 10)")
 		seed       = flag.Int64("seed", 1, "generator seed")
+		parallel   = flag.Int("parallelism", 0, "optimizer worker goroutines (0 = all cores, 1 = sequential)")
 		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory (figures only)")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{
-		Out:     os.Stdout,
-		Timeout: *timeout,
-		Quick:   *quick,
-		Nodes:   *nodes,
-		Seed:    *seed,
-		CSVDir:  *csvDir,
+		Out:         os.Stdout,
+		Timeout:     *timeout,
+		Quick:       *quick,
+		Nodes:       *nodes,
+		Seed:        *seed,
+		CSVDir:      *csvDir,
+		Parallelism: *parallel,
 	}
 
 	experiments := map[string]func(bench.Config) error{

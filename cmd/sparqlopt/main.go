@@ -18,6 +18,8 @@
 //	-dot        print the plan in Graphviz dot syntax
 //	-repl       interactive mode: read ';'-terminated queries from stdin
 //	-timeout    optimization cap (default 600s)
+//	-parallelism  optimizer worker goroutines (0 = all cores, 1 =
+//	              sequential; parallel runs find plans of identical cost)
 //	-demo       use a generated LUBM dataset and query L8
 package main
 
@@ -55,6 +57,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "with -execute: print the per-operator execution trace")
 		dot       = flag.Bool("dot", false, "print the plan in Graphviz dot syntax")
 		timeout   = flag.Duration("timeout", 600*time.Second, "optimization cap")
+		parallel  = flag.Int("parallelism", 0, "optimizer worker goroutines (0 = all cores, 1 = sequential)")
 		demo      = flag.Bool("demo", false, "run the built-in LUBM demo")
 		repl      = flag.Bool("repl", false, "interactive mode: read queries from stdin (use with -data or -demo)")
 	)
@@ -63,7 +66,7 @@ func main() {
 		dataPath: *dataPath, queryPath: *queryPath, algorithm: *algorithm,
 		partName: *partName, nodes: *nodes, execute: *execute,
 		explain: *explain, dot: *dot, timeout: *timeout, demo: *demo,
-		repl: *repl,
+		repl: *repl, parallelism: *parallel,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
 		os.Exit(1)
@@ -73,6 +76,7 @@ func main() {
 type runConfig struct {
 	dataPath, queryPath, algorithm, partName string
 	nodes                                    int
+	parallelism                              int
 	execute, explain, dot, demo, repl        bool
 	timeout                                  time.Duration
 }
@@ -124,7 +128,7 @@ func run(cfg runConfig) error {
 		return err
 	}
 	if cfg.repl {
-		return replLoop(ds, method, nodes, algorithm, timeout)
+		return replLoop(ds, method, nodes, cfg.parallelism, algorithm, timeout)
 	}
 	fmt.Printf("dataset: %d triples; query: %d triple patterns\n", ds.Len(), len(q.Patterns))
 
@@ -143,7 +147,7 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default}
+	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default, Parallelism: cfg.parallelism}
 	in.Params.Nodes = nodes
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -224,7 +228,7 @@ func optimize(ctx context.Context, in *opt.Input, algorithm string) (*opt.Result
 // replLoop reads SPARQL queries from stdin (terminated by a line
 // containing just ';'), optimizing and executing each against the
 // partitioned dataset.
-func replLoop(ds *rdf.Dataset, method partition.Method, nodes int, algorithm string, timeout time.Duration) error {
+func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism int, algorithm string, timeout time.Duration) error {
 	fmt.Printf("dataset: %d triples; partitioning with %s onto %d nodes...\n", ds.Len(), method.Name(), nodes)
 	placement, err := method.Partition(ds, nodes)
 	if err != nil {
@@ -249,7 +253,7 @@ func replLoop(ds *rdf.Dataset, method partition.Method, nodes int, algorithm str
 			prompt()
 			continue
 		}
-		if err := replOne(ds, e, method, nodes, algorithm, timeout, src); err != nil {
+		if err := replOne(ds, e, method, nodes, parallelism, algorithm, timeout, src); err != nil {
 			fmt.Println("error:", err)
 		}
 		prompt()
@@ -258,7 +262,7 @@ func replLoop(ds *rdf.Dataset, method partition.Method, nodes int, algorithm str
 	return sc.Err()
 }
 
-func replOne(ds *rdf.Dataset, e *engine.Engine, method partition.Method, nodes int, algorithm string, timeout time.Duration, src string) error {
+func replOne(ds *rdf.Dataset, e *engine.Engine, method partition.Method, nodes, parallelism int, algorithm string, timeout time.Duration, src string) error {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
@@ -275,7 +279,7 @@ func replOne(ds *rdf.Dataset, e *engine.Engine, method partition.Method, nodes i
 	if err != nil {
 		return err
 	}
-	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default}
+	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default, Parallelism: parallelism}
 	in.Params.Nodes = nodes
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()

@@ -48,6 +48,10 @@ type Config struct {
 	// CSVDir, when set, makes the figure experiments additionally
 	// write plot-ready CSV files into this directory.
 	CSVDir string
+	// Parallelism is the optimizer worker count (0 = all cores,
+	// 1 = sequential). Parallel runs find plans of identical cost, so
+	// it only changes optimization time, never table contents.
+	Parallelism int
 }
 
 // csvFile opens a CSV output file, or returns nil when CSVDir is
@@ -166,7 +170,7 @@ func makeInput(cfg Config, q *sparql.Query, s *stats.Stats, m partition.Method) 
 	if err != nil {
 		return nil, err
 	}
-	return &opt.Input{Query: q, Views: views, Est: est, Params: cfg.params(), Method: m}, nil
+	return &opt.Input{Query: q, Views: views, Est: est, Params: cfg.params(), Method: m, Parallelism: cfg.Parallelism}, nil
 }
 
 // dataInput assembles an optimizer input with statistics collected

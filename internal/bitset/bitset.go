@@ -127,6 +127,20 @@ func (s TPSet) ProperSubsets(f func(sub TPSet) bool) {
 	})
 }
 
+// Hash returns a well-mixed 64-bit hash of the set (the finalizer of
+// splitmix64). Raw TPSet values of related subqueries differ only in a
+// few low bits; the mix spreads them evenly, which shard selection in
+// the optimizer's lock-striped memo table relies on.
+func (s TPSet) Hash() uint64 {
+	x := uint64(s)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // String renders the set as "{0,3,5}".
 func (s TPSet) String() string {
 	var b strings.Builder

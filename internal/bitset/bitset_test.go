@@ -2,6 +2,7 @@ package bitset
 
 import (
 	"math/bits"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -215,5 +216,35 @@ func TestQuickDeMorgan(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Hash must be deterministic and spread consecutive bitsets across
+// memo shards: over all 64 singletons plus 200 random sets, no more
+// than a small fraction may collide modulo a 64-way shard table.
+func TestHash(t *testing.T) {
+	if Of(3, 7).Hash() != Of(3, 7).Hash() {
+		t.Fatal("Hash is not deterministic")
+	}
+	shards := make(map[uint64]int)
+	sets := 0
+	for i := 0; i < 64; i++ {
+		shards[Of(i).Hash()%64]++
+		sets++
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		shards[TPSet(rng.Uint64()).Hash()%64]++
+		sets++
+	}
+	max := 0
+	for _, n := range shards {
+		if n > max {
+			max = n
+		}
+	}
+	// A perfectly uniform spread puts ~4 sets per shard; allow 4×.
+	if max > 16 {
+		t.Errorf("shard skew: busiest shard holds %d of %d sets", max, sets)
 	}
 }

@@ -42,21 +42,39 @@ func (p Params) Scan(card float64) float64 { return p.Alpha * card }
 // Local returns the cost of a k-way local join over inputs with the
 // given cardinalities producing out results: no transfer.
 func (p Params) Local(inputs []float64, out float64) float64 {
-	return p.Alpha*sum(inputs) + p.GammaL*out
+	return p.LocalFromStats(sum(inputs), out)
 }
 
 // Broadcast returns the cost of a k-way broadcast join: the k−1
 // smaller inputs are replicated to the n nodes holding the largest.
 func (p Params) Broadcast(inputs []float64, out float64) float64 {
-	s := sum(inputs)
-	return p.Alpha*s + p.BetaB*(s-max(inputs))*float64(p.Nodes) + p.GammaB*out
+	return p.BroadcastFromStats(sum(inputs), max(inputs), out)
 }
 
 // Repartition returns the cost of a k-way repartition join: every
 // input is reshuffled on the shared join variable.
 func (p Params) Repartition(inputs []float64, out float64) float64 {
-	s := sum(inputs)
-	return p.Alpha*s + p.BetaR*s + p.GammaR*out
+	return p.RepartitionFromStats(sum(inputs), out)
+}
+
+// The FromStats variants compute the same formulas from the
+// precomputed sum (and, for broadcast, maximum) of the input
+// cardinalities. The plan enumerator's hot path uses them to cost
+// candidate joins without materializing an input slice.
+
+// LocalFromStats is Local given Σ|SQ_i|.
+func (p Params) LocalFromStats(sumIn, out float64) float64 {
+	return p.Alpha*sumIn + p.GammaL*out
+}
+
+// BroadcastFromStats is Broadcast given Σ|SQ_i| and max|SQ_i|.
+func (p Params) BroadcastFromStats(sumIn, maxIn, out float64) float64 {
+	return p.Alpha*sumIn + p.BetaB*(sumIn-maxIn)*float64(p.Nodes) + p.GammaB*out
+}
+
+// RepartitionFromStats is Repartition given Σ|SQ_i|.
+func (p Params) RepartitionFromStats(sumIn, out float64) float64 {
+	return p.Alpha*sumIn + p.BetaR*sumIn + p.GammaR*out
 }
 
 func sum(xs []float64) float64 {

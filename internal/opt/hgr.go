@@ -63,14 +63,15 @@ func runHGR(ctx context.Context, in *Input) (*Result, error) {
 			}
 			return checker.IsLocal(origSet(units))
 		},
-		counter: &Counter{},
+		counter: &counters{},
 		params:  in.Params,
+		opt:     Options{Parallelism: in.Parallelism},
 	}
 	p, err := sp.run()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Plan: p, Counter: *sp.counter, Used: HGRTDCMD, Groups: groups}, nil
+	return &Result{Plan: p, Counter: sp.counter.snapshot(), Used: HGRTDCMD, Groups: groups}, nil
 }
 
 // groupPlan builds the leaf plan of one reduction group: a scan for a

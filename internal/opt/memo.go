@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"sync"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/plan"
+)
+
+// The parallel enumerator replaces the sequential plain-map memo with
+// a lock-striped table of plan futures. Each distinct subquery is
+// planned by exactly one worker: the first goroutine to claim a set
+// becomes its owner and computes the plan; later claimants receive the
+// same future and block on its completion. This keeps the search-space
+// counters (and the amount of work) identical to the sequential run —
+// no subquery is ever planned twice — while letting independent
+// subqueries proceed on different cores.
+
+// memoShards is the number of lock stripes. 64 keeps the probability
+// of two live workers hashing to the same stripe low at any supported
+// parallelism while the table stays small enough to allocate per run.
+const memoShards = 64
+
+// futurePlan is the promise for one subquery's best plan. done is
+// closed by the owner after plan is written, so waiters observe a
+// fully published value. plan is nil when the run was cancelled
+// mid-computation (the run as a whole errors out in that case).
+type futurePlan struct {
+	done chan struct{}
+	plan *plan.Node
+}
+
+// memoTable is the sharded future-based memo keyed by subquery bitset.
+type memoTable struct {
+	shards [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[bitset.TPSet]*futurePlan
+}
+
+func newMemoTable() *memoTable {
+	t := &memoTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[bitset.TPSet]*futurePlan)
+	}
+	return t
+}
+
+// claim returns the future for s and whether the caller won ownership.
+// The winner must compute the plan, store it in f.plan and close
+// f.done exactly once; losers wait on f.done and read f.plan.
+func (t *memoTable) claim(s bitset.TPSet) (f *futurePlan, owner bool) {
+	sh := &t.shards[s.Hash()%memoShards]
+	sh.mu.Lock()
+	if f, ok := sh.m[s]; ok {
+		sh.mu.Unlock()
+		return f, false
+	}
+	f = &futurePlan{done: make(chan struct{})}
+	sh.m[s] = f
+	sh.mu.Unlock()
+	return f, true
+}
+
+// resolve publishes p as the owner's result and wakes all waiters.
+func (f *futurePlan) resolve(p *plan.Node) {
+	f.plan = p
+	close(f.done)
+}
+
+// wait blocks until the owner resolves the future.
+func (f *futurePlan) wait() *plan.Node {
+	<-f.done
+	return f.plan
+}

@@ -65,6 +65,12 @@ type Input struct {
 	// queries. When nil, no subquery is considered local except single
 	// patterns (pure distributed execution).
 	Method partition.Method
+	// Parallelism bounds the optimizer's worker goroutines. 0 means
+	// runtime.GOMAXPROCS(0); <= 1 forces the sequential enumerator.
+	// Parallel runs are deterministic: plan cost and search-space
+	// counters match the sequential run exactly. Options.Parallelism,
+	// when set, takes precedence (OptimizeWithOptions callers).
+	Parallelism int
 }
 
 // Result is the outcome of an optimization run.
@@ -157,11 +163,14 @@ func identitySpace(ctx context.Context, in *Input, o Options) *space {
 		},
 		params:  in.Params,
 		opt:     o,
-		counter: &Counter{},
+		counter: &counters{},
 	}
 }
 
 func runTD(ctx context.Context, in *Input, o Options) (*Result, error) {
+	if o.Parallelism == 0 {
+		o.Parallelism = in.Parallelism
+	}
 	sp := identitySpace(ctx, in, o)
 	p, err := sp.run()
 	if err != nil {
@@ -171,7 +180,7 @@ func runTD(ctx context.Context, in *Input, o Options) (*Result, error) {
 	if o.PruneCCMD || o.BinaryBroadcastOnly || o.LocalShortcut {
 		used = TDCMDP
 	}
-	return &Result{Plan: p, Counter: *sp.counter, Used: used}, nil
+	return &Result{Plan: p, Counter: sp.counter.snapshot(), Used: used}, nil
 }
 
 // runAuto implements the decision tree of Fig. 5: for join graphs with

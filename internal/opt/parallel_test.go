@@ -1,0 +1,161 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
+	"sparqlopt/internal/workload/lubm"
+	"sparqlopt/internal/workload/randquery"
+	"sparqlopt/internal/workload/uniprot"
+)
+
+// benchmarkQueries are the paper's Table III queries: L1–L10 (LUBM)
+// and U1–U5 (UniProt).
+func benchmarkQueries() map[string]*sparql.Query {
+	out := map[string]*sparql.Query{}
+	for i := 1; i <= 10; i++ {
+		name := fmt.Sprintf("L%d", i)
+		out[name] = lubm.Query(name)
+	}
+	for i := 1; i <= 5; i++ {
+		name := fmt.Sprintf("U%d", i)
+		out[name] = uniprot.Query(name)
+	}
+	return out
+}
+
+// TestDeterminismParallel asserts the headline property of the
+// parallel enumerator: for every benchmark query and every algorithm,
+// runs at parallelism 2, 4 and 8 produce exactly the plan cost and
+// search-space counters of the sequential run.
+func TestDeterminismParallel(t *testing.T) {
+	algos := []Algorithm{TDCMD, TDCMDP, HGRTDCMD, TDAuto}
+	for name, q := range benchmarkQueries() {
+		for _, algo := range algos {
+			seq := makeInput(t, q, 42, partition.HashSO{})
+			seq.Parallelism = 1
+			want, err := Optimize(context.Background(), seq, algo)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", name, algo, err)
+			}
+			if err := want.Plan.Validate(); err != nil {
+				t.Fatalf("%s/%s sequential plan invalid: %v", name, algo, err)
+			}
+			for _, p := range []int{2, 4, 8} {
+				in := makeInput(t, q, 42, partition.HashSO{})
+				in.Parallelism = p
+				got, err := Optimize(context.Background(), in, algo)
+				if err != nil {
+					t.Fatalf("%s/%s P=%d: %v", name, algo, p, err)
+				}
+				if err := got.Plan.Validate(); err != nil {
+					t.Errorf("%s/%s P=%d plan invalid: %v", name, algo, p, err)
+				}
+				if got.Plan.Cost != want.Plan.Cost {
+					t.Errorf("%s/%s P=%d: cost %v, sequential %v", name, algo, p, got.Plan.Cost, want.Plan.Cost)
+				}
+				if got.Counter != want.Counter {
+					t.Errorf("%s/%s P=%d: counters %+v, sequential %+v", name, algo, p, got.Counter, want.Counter)
+				}
+				if got.Used != want.Used {
+					t.Errorf("%s/%s P=%d: used %v, sequential %v", name, algo, p, got.Used, want.Used)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminismRandom extends the determinism check to larger random
+// join graphs of every structural class, where the parallel fan-out
+// actually saturates the pool.
+func TestDeterminismRandom(t *testing.T) {
+	cases := []struct {
+		class querygraph.Class
+		n     int
+	}{
+		{querygraph.Chain, 18},
+		{querygraph.Cycle, 12},
+		{querygraph.Star, 9},
+		{querygraph.Tree, 14},
+		{querygraph.Dense, 10},
+	}
+	for _, tc := range cases {
+		for _, algo := range []Algorithm{TDCMD, TDCMDP} {
+			q, s := randquery.Generate(tc.class, tc.n, 7)
+			est := mustEst(t, q, s)
+			base := func(p int) *Input {
+				views, err := querygraph.Build(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return &Input{Query: q, Views: views, Est: est, Method: partition.HashSO{}, Parallelism: p}
+			}
+			want, err := Optimize(context.Background(), base(1), algo)
+			if err != nil {
+				t.Fatalf("%v-%d/%s sequential: %v", tc.class, tc.n, algo, err)
+			}
+			for _, p := range []int{2, 4, 8} {
+				got, err := Optimize(context.Background(), base(p), algo)
+				if err != nil {
+					t.Fatalf("%v-%d/%s P=%d: %v", tc.class, tc.n, algo, p, err)
+				}
+				if got.Plan.Cost != want.Plan.Cost || got.Counter != want.Counter {
+					t.Errorf("%v-%d/%s P=%d: (cost %v, %+v) != sequential (cost %v, %+v)",
+						tc.class, tc.n, algo, p, got.Plan.Cost, got.Counter, want.Plan.Cost, want.Counter)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCancellationExpired asserts a parallel run refuses an
+// already-expired context before fanning any work out.
+func TestParallelCancellationExpired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := makeInput(t, starQuery(14), 1, nil)
+	in.Parallelism = 4
+	start := time.Now()
+	_, err := Optimize(ctx, in, TDCMD)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("expired context took %v to be honored", d)
+	}
+}
+
+// TestParallelCancellationDeadline asserts every worker of a parallel
+// run observes a deadline that expires mid-enumeration. Star-16 under
+// unpruned TD-CMD enumerates billions of cmds — it can only return
+// quickly by cancellation.
+func TestParallelCancellationDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	in := makeInput(t, starQuery(16), 1, nil)
+	in.Parallelism = 4
+	start := time.Now()
+	_, err := Optimize(ctx, in, TDCMD)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("deadline took %v to propagate to all workers", d)
+	}
+}
+
+func mustEst(t *testing.T, q *sparql.Query, s *stats.Stats) *stats.Estimator {
+	t.Helper()
+	est, err := stats.NewEstimator(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}

@@ -3,6 +3,9 @@ package opt
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sparqlopt/internal/bitset"
 	"sparqlopt/internal/cost"
@@ -10,8 +13,9 @@ import (
 	"sparqlopt/internal/querygraph"
 )
 
-// Options are the pruning rules of TD-CMDP (§IV-A). The zero value is
-// the unpruned TD-CMD.
+// Options are the pruning rules of TD-CMDP (§IV-A) plus the
+// parallelism knob. The zero value is the unpruned TD-CMD at the
+// default parallelism.
 type Options struct {
 	// PruneCCMD restricts k>2 divisions to connected complete-multi-
 	// divisions (Rule 1).
@@ -22,6 +26,12 @@ type Options struct {
 	// LocalShortcut makes the local-join plan final for local
 	// subqueries, skipping their enumeration entirely (Rule 3).
 	LocalShortcut bool
+	// Parallelism bounds the number of worker goroutines the
+	// enumeration may use. 0 selects runtime.GOMAXPROCS(0); any value
+	// <= 1 selects the exact sequential path. Parallel runs are
+	// deterministic: they produce plans with the same cost and the
+	// same search-space counters as the sequential run.
+	Parallelism int
 }
 
 // CMDPOptions enables all three TD-CMDP pruning rules.
@@ -29,7 +39,9 @@ func CMDPOptions() Options {
 	return Options{PruneCCMD: true, BinaryBroadcastOnly: true, LocalShortcut: true}
 }
 
-// Counter instruments one optimizer run.
+// Counter instruments one optimizer run. It is a plain value snapshot;
+// the enumerator accumulates into atomic counters internally and folds
+// them into a Counter when the run finishes.
 type Counter struct {
 	// CMDs is the number of join operators (connected multi-divisions)
 	// enumerated — the "size of the search space" of paper Table VII.
@@ -41,9 +53,27 @@ type Counter struct {
 	Subqueries int64
 }
 
+// counters is the concurrency-safe accumulator behind Counter.
+type counters struct {
+	cmds, plans, subqueries atomic.Int64
+}
+
+func (c *counters) snapshot() Counter {
+	return Counter{
+		CMDs:       c.cmds.Load(),
+		Plans:      c.plans.Load(),
+		Subqueries: c.subqueries.Load(),
+	}
+}
+
 // space is one plan-enumeration problem over "units". For plain TD-CMD
 // each unit is one triple pattern; HGR-TD-CMD collapses local groups
 // of patterns into single units and reuses the same machinery.
+//
+// Everything a worker reads during enumeration (jg, card, isLocal,
+// params, leaves) is immutable once run starts; mutable state is
+// confined to the memo (plain map when sequential, lock-striped future
+// table when parallel), the atomic counters and the cancellation flag.
 type space struct {
 	ctx     context.Context
 	jg      *querygraph.JoinGraph // join graph over units
@@ -52,26 +82,83 @@ type space struct {
 	isLocal func(units bitset.TPSet) bool
 	params  cost.Params
 	opt     Options
-	counter *Counter
-	memo    map[bitset.TPSet]*plan.Node
-	steps   int
+	counter *counters
+
+	// leaves caches the leaf plan of every unit: leaf plans are pure
+	// functions of the unit, and localPlan/bestPlanGen ask for the
+	// same ones over and over.
+	leaves []*plan.Node
+
+	// Sequential memo (Parallelism <= 1).
+	memo map[bitset.TPSet]*plan.Node
+
+	// Parallel machinery (Parallelism > 1).
+	pmemo *memoTable
+	pool  *pool
+
+	// stopped flips once on the first observed cancellation; every
+	// worker polls it. err records the first cause.
+	stopped atomic.Bool
+	errMu   sync.Mutex
 	err     error
 }
 
+// cmdBatchSize is how many connected multi-divisions the enumeration
+// goroutine buffers before handing them to a costing worker. Large
+// enough to amortize the handoff, small enough that children of early
+// CMDs start planning while later ones are still being enumerated.
+const cmdBatchSize = 32
+
 const cancelCheckInterval = 4096
 
-func (sp *space) cancelled() bool {
-	if sp.err != nil {
+// worker carries per-goroutine enumeration state — currently just the
+// step counter that rations context checks. Each goroutine owns its
+// own worker, so the counter needs no synchronization and every worker
+// checks the context at least once per cancelCheckInterval of its own
+// steps (the shared-counter version skipped checks arbitrarily long
+// once several goroutines interleaved increments).
+type worker struct {
+	sp    *space
+	steps int
+}
+
+// cancelled polls the run's stop flag and, every
+// cancelCheckInterval steps of this worker, the context deadline.
+func (w *worker) cancelled() bool {
+	sp := w.sp
+	if sp.stopped.Load() {
 		return true
 	}
-	sp.steps++
-	if sp.steps%cancelCheckInterval == 0 {
+	w.steps++
+	if w.steps%cancelCheckInterval == 0 {
 		if err := sp.ctx.Err(); err != nil {
-			sp.err = err
+			sp.fail(err)
 			return true
 		}
 	}
 	return false
+}
+
+// fail records the first error and stops every worker.
+func (sp *space) fail(err error) {
+	sp.errMu.Lock()
+	if sp.err == nil {
+		sp.err = err
+	}
+	sp.errMu.Unlock()
+	sp.stopped.Store(true)
+}
+
+// parallelism resolves Options.Parallelism: 0 means GOMAXPROCS.
+func (sp *space) parallelism() int {
+	p := sp.opt.Parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // run optimizes the full unit set.
@@ -80,8 +167,20 @@ func (sp *space) run() (*plan.Node, error) {
 	if !sp.jg.Connected(all) {
 		return nil, fmt.Errorf("opt: query is disconnected; a Cartesian-product-free plan does not exist")
 	}
-	sp.memo = make(map[bitset.TPSet]*plan.Node)
-	p := sp.best(all, false)
+	if err := sp.ctx.Err(); err != nil {
+		return nil, err // honor already-expired contexts before fanning out
+	}
+	sp.buildLeaves()
+	var p *plan.Node
+	w := &worker{sp: sp}
+	if sp.parallelism() > 1 {
+		sp.pmemo = newMemoTable()
+		sp.pool = newPool(sp.parallelism())
+		p = sp.bestPar(all, false, w)
+	} else {
+		sp.memo = make(map[bitset.TPSet]*plan.Node)
+		p = sp.best(all, false, w)
+	}
 	if sp.err != nil {
 		return nil, sp.err
 	}
@@ -91,28 +190,36 @@ func (sp *space) run() (*plan.Node, error) {
 	return p, nil
 }
 
-// best is GetBestPlan of Algorithm 1: memoized recursion. inheritedLocal
-// is true when an ancestor subquery was already known local (Lemma 4),
-// which lets us skip the check.
-func (sp *space) best(s bitset.TPSet, inheritedLocal bool) *plan.Node {
+// buildLeaves materializes the per-unit leaf plans once.
+func (sp *space) buildLeaves() {
+	sp.leaves = make([]*plan.Node, sp.jg.NumTP)
+	for u := 0; u < sp.jg.NumTP; u++ {
+		sp.leaves[u] = sp.leaf(u)
+	}
+}
+
+// best is GetBestPlan of Algorithm 1: memoized recursion (sequential
+// path). inheritedLocal is true when an ancestor subquery was already
+// known local (Lemma 4), which lets us skip the check.
+func (sp *space) best(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node {
 	if p, ok := sp.memo[s]; ok {
 		return p
 	}
-	if sp.cancelled() {
+	if w.cancelled() {
 		return nil
 	}
-	p := sp.bestPlanGen(s, inheritedLocal)
-	if sp.err == nil {
+	p := sp.bestPlanGen(s, inheritedLocal, w)
+	if !sp.stopped.Load() {
 		sp.memo[s] = p
 	}
 	return p
 }
 
-// bestPlanGen is BestPlanGen of Algorithm 1.
-func (sp *space) bestPlanGen(s bitset.TPSet, inheritedLocal bool) *plan.Node {
-	sp.counter.Subqueries++
+// bestPlanGen is BestPlanGen of Algorithm 1 (sequential path).
+func (sp *space) bestPlanGen(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node {
+	sp.counter.subqueries.Add(1)
 	if s.Len() == 1 {
-		return sp.leaf(s.Min())
+		return sp.leaves[s.Min()]
 	}
 	local := inheritedLocal || sp.isLocal(s)
 	var bPlan *plan.Node
@@ -122,51 +229,197 @@ func (sp *space) bestPlanGen(s bitset.TPSet, inheritedLocal bool) *plan.Node {
 			return bPlan // Rule 3: the local join plan is final
 		}
 	}
+	out := sp.card(s)
+	// children is scratch shared across cmds; a winning candidate gets
+	// its own copy, so losing cmds (the common case) allocate nothing.
+	// cmds/plans accumulate locally and fold into the shared atomics
+	// once per subquery, keeping the hot loop free of shared writes.
+	children := make([]*plan.Node, 0, s.Len())
+	var cmds, plans int64
 	ConnMultiDivision(sp.jg, s, sp.opt.PruneCCMD, func(cmd CMD) bool {
-		if sp.cancelled() {
+		if w.cancelled() {
 			return false
 		}
-		sp.counter.CMDs++
-		children := make([]*plan.Node, len(cmd.Parts))
-		inputs := make([]float64, len(cmd.Parts))
-		for i, part := range cmd.Parts {
-			ch := sp.best(part, local)
+		cmds++
+		children = children[:0]
+		for _, part := range cmd.Parts {
+			ch := sp.best(part, local, w)
 			if ch == nil {
 				return false // cancelled
 			}
-			children[i] = ch
-			inputs[i] = ch.Card
+			children = append(children, ch)
 		}
-		out := sp.card(s)
-		vj := sp.jg.Vars[cmd.Var]
-		// Repartition join: always a candidate.
-		sp.counter.Plans++
-		cand := plan.NewJoin(plan.RepartitionJoin, vj, children, out, sp.params)
-		if bPlan == nil || cand.Cost < bPlan.Cost {
-			bPlan = cand
-		}
-		// Broadcast join: Rule 2 restricts it to binary divisions.
-		if !sp.opt.BinaryBroadcastOnly || len(cmd.Parts) == 2 {
-			sp.counter.Plans++
-			cand = plan.NewJoin(plan.BroadcastJoin, vj, children, out, sp.params)
-			if cand.Cost < bPlan.Cost {
-				bPlan = cand
-			}
+		alg, c := sp.bestCandidate(children, out, &plans)
+		if bPlan == nil || c < bPlan.Cost {
+			kids := make([]*plan.Node, len(children))
+			copy(kids, children)
+			bPlan = plan.NewJoin(alg, sp.jg.Vars[cmd.Var], kids, out, sp.params)
 		}
 		return true
 	})
+	sp.counter.cmds.Add(cmds)
+	sp.counter.plans.Add(plans)
 	return bPlan
+}
+
+// bestCandidate costs the join candidates of one cmd — repartition
+// always, broadcast when Rule 2 allows — and returns the cheaper
+// algorithm with its cumulative cost, preferring repartition on ties.
+// Candidates are costed without building nodes (plan.JoinCost), so
+// only improving candidates ever allocate. plans accumulates the
+// number of candidates costed into the caller's local counter.
+func (sp *space) bestCandidate(children []*plan.Node, out float64, plans *int64) (plan.Algorithm, float64) {
+	*plans++
+	_, c := plan.JoinCost(plan.RepartitionJoin, children, out, sp.params)
+	alg := plan.RepartitionJoin
+	if !sp.opt.BinaryBroadcastOnly || len(children) == 2 {
+		*plans++
+		_, bc := plan.JoinCost(plan.BroadcastJoin, children, out, sp.params)
+		if bc < c {
+			alg, c = plan.BroadcastJoin, bc
+		}
+	}
+	return alg, c
+}
+
+// bestPar is the parallel GetBestPlan: the first goroutine to claim a
+// subquery plans it, everyone else blocks on its future. Each distinct
+// subquery is therefore planned exactly once, as in the sequential
+// run; whether a given subquery is local is a pure function of the
+// set (Lemma 4), so the winning claimant's inheritedLocal flag cannot
+// change the outcome.
+func (sp *space) bestPar(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node {
+	f, owner := sp.pmemo.claim(s)
+	if !owner {
+		return f.wait()
+	}
+	var p *plan.Node
+	if !w.cancelled() {
+		p = sp.bestPlanGenPar(s, inheritedLocal, w)
+	}
+	f.resolve(p)
+	return p
+}
+
+// bestReducer folds the per-batch best plans into the subquery's best.
+// Min-cost folding is order-independent, so the reduction is
+// deterministic up to cost even though batches finish in any order.
+type bestReducer struct {
+	mu   sync.Mutex
+	best *plan.Node
+}
+
+func (r *bestReducer) merge(p *plan.Node) {
+	if p == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.best == nil || p.Cost < r.best.Cost {
+		r.best = p
+	}
+	r.mu.Unlock()
+}
+
+// bestPlanGenPar is BestPlanGen with the connected multi-divisions
+// fanned out to the worker pool: the enumeration goroutine streams
+// cmds into fixed-size batches; each batch plans its parts (recursing
+// into bestPar, which claims further subqueries) and costs its
+// candidates concurrently with enumeration of the remaining cmds.
+func (sp *space) bestPlanGenPar(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node {
+	sp.counter.subqueries.Add(1)
+	if s.Len() == 1 {
+		return sp.leaves[s.Min()]
+	}
+	local := inheritedLocal || sp.isLocal(s)
+	red := &bestReducer{}
+	if local {
+		lp := sp.localPlan(s)
+		if sp.opt.LocalShortcut {
+			return lp // Rule 3: the local join plan is final
+		}
+		red.best = lp
+	}
+	out := sp.card(s)
+	var wg sync.WaitGroup
+	var cmds int64
+	batch := sp.pool.getBatch()
+	flush := func() {
+		if batch.len() == 0 {
+			return
+		}
+		b := batch
+		batch = sp.pool.getBatch()
+		wg.Add(1)
+		sp.pool.submit(func() {
+			defer wg.Done()
+			sp.costBatch(b, local, out, red)
+			sp.pool.putBatch(b)
+		})
+	}
+	ConnMultiDivision(sp.jg, s, sp.opt.PruneCCMD, func(cmd CMD) bool {
+		if w.cancelled() {
+			return false
+		}
+		cmds++
+		batch.add(cmd)
+		if batch.len() == cmdBatchSize {
+			flush()
+		}
+		return true
+	})
+	sp.counter.cmds.Add(cmds)
+	flush()
+	wg.Wait()
+	sp.pool.putBatch(batch)
+	return red.best
+}
+
+// costBatch plans the parts of every cmd in b and merges the batch's
+// best candidate into red. Runs on a pool worker (or inline on the
+// enumerating goroutine when the pool is saturated).
+func (sp *space) costBatch(b *cmdBatch, local bool, out float64, red *bestReducer) {
+	w := &worker{sp: sp}
+	var best *plan.Node
+	var plans int64
+	children := make([]*plan.Node, 0, 8)
+	for i := 0; i < b.len(); i++ {
+		if w.cancelled() {
+			break
+		}
+		parts := b.partsOf(i)
+		children = children[:0]
+		ok := true
+		for _, part := range parts {
+			ch := sp.bestPar(part, local, w)
+			if ch == nil {
+				ok = false // cancelled
+				break
+			}
+			children = append(children, ch)
+		}
+		if !ok {
+			break
+		}
+		alg, c := sp.bestCandidate(children, out, &plans)
+		if best == nil || c < best.Cost {
+			kids := make([]*plan.Node, len(children))
+			copy(kids, children)
+			best = plan.NewJoin(alg, sp.jg.Vars[b.vjs[i]], kids, out, sp.params)
+		}
+	}
+	sp.counter.plans.Add(plans)
+	red.merge(best)
 }
 
 // localPlan builds the k-way local join of all units of the local
 // subquery s.
 func (sp *space) localPlan(s bitset.TPSet) *plan.Node {
 	if s.Len() == 1 {
-		return sp.leaf(s.Min())
+		return sp.leaves[s.Min()]
 	}
 	children := make([]*plan.Node, 0, s.Len())
 	s.Each(func(u int) bool {
-		children = append(children, sp.leaf(u))
+		children = append(children, sp.leaves[u])
 		return true
 	})
 	joinVars := sp.jg.JoinVarsOf(s)
@@ -174,6 +427,6 @@ func (sp *space) localPlan(s bitset.TPSet) *plan.Node {
 	if len(joinVars) > 0 {
 		name = sp.jg.Vars[joinVars[0]]
 	}
-	sp.counter.Plans++
+	sp.counter.plans.Add(1)
 	return plan.NewJoin(plan.LocalJoin, name, children, sp.card(s), sp.params)
 }

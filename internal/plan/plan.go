@@ -115,6 +115,36 @@ func NewJoin(alg Algorithm, joinVar string, children []*Node, card float64, p co
 	}
 }
 
+// JoinCost returns the operator cost (Eq. 4) and cumulative plan cost
+// (Eq. 3) of the k-way join candidate (alg, children, card) without
+// building the Node. The arithmetic matches NewJoin exactly (same
+// fold order over children), so a Node later built from the same
+// candidate carries bit-identical costs. The enumerator's hot path
+// uses it to discard losing candidates allocation-free.
+func JoinCost(alg Algorithm, children []*Node, card float64, p cost.Params) (op, total float64) {
+	var sumIn, maxIn, maxChild float64
+	for _, ch := range children {
+		sumIn += ch.Card
+		if ch.Card > maxIn {
+			maxIn = ch.Card
+		}
+		if ch.Cost > maxChild {
+			maxChild = ch.Cost
+		}
+	}
+	switch alg {
+	case LocalJoin:
+		op = p.LocalFromStats(sumIn, card)
+	case BroadcastJoin:
+		op = p.BroadcastFromStats(sumIn, maxIn, card)
+	case RepartitionJoin:
+		op = p.RepartitionFromStats(sumIn, card)
+	default:
+		panic("plan: JoinCost with Scan algorithm")
+	}
+	return op, maxChild + op
+}
+
 // Leaves returns the scan nodes of the plan in left-to-right order.
 func (n *Node) Leaves() []*Node {
 	var out []*Node

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race exposes whether the binary was built with the race
+// detector, so benchmarks can skip workloads whose instrumented
+// slowdown (typically 5–20×) would blow past any reasonable timeout.
+package race
+
+// Enabled is true when the race detector is active.
+const Enabled = false

@@ -11,6 +11,7 @@ package stats
 
 import (
 	"fmt"
+	"sync"
 
 	"sparqlopt/internal/bitset"
 	"sparqlopt/internal/rdf"
@@ -145,10 +146,14 @@ func CollectSampled(ds *rdf.Dataset, q *sparql.Query, rate float64) (*Stats, err
 }
 
 // Estimator computes and memoizes subquery cardinalities for one
-// query under one Stats.
+// query under one Stats. It is safe for concurrent use: the parallel
+// plan enumerator calls it from every worker. Estimates are pure
+// functions of the set, so concurrent misses may compute the same
+// entry twice but always store identical values.
 type Estimator struct {
 	q     *sparql.Query
 	stats *Stats
+	mu    sync.RWMutex
 	memo  map[bitset.TPSet]entry
 }
 
@@ -189,7 +194,10 @@ func (e *Estimator) resolve(set bitset.TPSet) entry {
 	if set.IsEmpty() {
 		return entry{card: 1}
 	}
-	if got, ok := e.memo[set]; ok {
+	e.mu.RLock()
+	got, ok := e.memo[set]
+	e.mu.RUnlock()
+	if ok {
 		return got
 	}
 	first := set.Min()
@@ -201,7 +209,9 @@ func (e *Estimator) resolve(set bitset.TPSet) entry {
 		cur = e.join(cur, e.base(i))
 		return true
 	})
+	e.mu.Lock()
 	e.memo[set] = cur
+	e.mu.Unlock()
 	return cur
 }
 
