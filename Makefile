@@ -1,12 +1,14 @@
 # Development targets. `make check` is the full gate used before
-# merging: vet, build, the race-instrumented test suite, and a doubled
+# merging: vet, build, the race-instrumented test suite, a doubled
 # run of the parallel-determinism tests (the most schedule-sensitive
-# ones). Benchmarks that are too slow under the race detector skip
+# ones, covering both the optimizer and the execution engine), and a
+# single-iteration pass over the execution benchmarks so they cannot
+# bit-rot. Benchmarks that are too slow under the race detector skip
 # themselves (see internal/race).
 
 GO ?= go
 
-.PHONY: all vet build test race determinism bench check
+.PHONY: all vet build test race determinism bench bench-smoke check
 
 all: check
 
@@ -22,13 +24,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The determinism tests compare parallel plan costs and search-space
-# counters against the sequential enumerator; -count=2 reruns them to
-# shake out schedule-dependent flakiness.
+# The determinism tests compare parallel plan costs / search-space
+# counters against the sequential enumerator, and parallel execution
+# results / metrics against the sequential engine; -count=2 reruns
+# them to shake out schedule-dependent flakiness.
 determinism:
-	$(GO) test -run TestDeterminism -race -count=2 ./internal/opt/...
+	$(GO) test -run TestDeterminism -race -count=2 ./internal/opt/... ./internal/engine/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-check: vet build race determinism
+# One iteration of the execution benchmarks: catches compile or
+# runtime breakage in the bench harness without measuring anything.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkExecute -benchtime=1x .
+
+check: vet build race determinism bench-smoke

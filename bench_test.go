@@ -23,6 +23,7 @@ import (
 	"sparqlopt/internal/race"
 	"sparqlopt/internal/workload/lubm"
 	"sparqlopt/internal/workload/randquery"
+	"sparqlopt/internal/workload/watdiv"
 )
 
 func quickBenchConfig() bench.Config {
@@ -222,6 +223,79 @@ func BenchmarkLocalCheck(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		checker.IsLocal(set)
+	}
+}
+
+// BenchmarkExecute measures plan execution alone — optimization runs
+// once outside the timed loop — on LUBM L1–L10 and bound WatDiv
+// templates, sweeping the engine parallelism knob P ∈ {1, GOMAXPROCS}.
+// ReportAllocs tracks the data plane's allocation diet (integer-hash
+// joins + arena-backed relations); compare ns/op across P for the
+// intra-query speedup.
+func BenchmarkExecute(b *testing.B) {
+	type workload struct {
+		tag string
+		ds  *Dataset
+		qs  []struct {
+			name string
+			q    *Query
+		}
+	}
+	var loads []workload
+	lds := lubm.Generate(lubm.Config{Universities: 2, Seed: 1, Compact: true})
+	wl := workload{tag: "LUBM", ds: lds}
+	for _, name := range lubm.QueryNames {
+		wl.qs = append(wl.qs, struct {
+			name string
+			q    *Query
+		}{name, lubm.Query(name)})
+	}
+	loads = append(loads, wl)
+	wds := watdiv.GenerateData(watdiv.DataConfig{Scale: 300, Seed: 1})
+	ww := workload{tag: "WatDiv", ds: wds}
+	for _, t := range watdiv.Templates(1) {
+		if t.Query == nil || len(t.Query.Patterns) < 2 {
+			continue
+		}
+		// Binding can disconnect the join graph; skip those templates.
+		q := t.Bind(wds, 1)
+		if jg, err := querygraph.NewJoinGraph(q); err != nil || !jg.Connected(jg.All()) {
+			continue
+		}
+		ww.qs = append(ww.qs, struct {
+			name string
+			q    *Query
+		}{fmt.Sprintf("W%d", t.ID), q})
+		if len(ww.qs) == 3 {
+			break
+		}
+	}
+	loads = append(loads, ww)
+	sweep := []int{1, runtime.GOMAXPROCS(0)}
+	if sweep[1] == 1 {
+		sweep = sweep[:1] // single-core machine: P=GOMAXPROCS duplicates P=1
+	}
+	for _, p := range sweep {
+		for _, wl := range loads {
+			sys, err := Open(wl.ds, WithNodes(4), WithParallelism(p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, bq := range wl.qs {
+				res, err := sys.OptimizeQuery(context.Background(), bq.q, TDAuto)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Run(fmt.Sprintf("%s/%s/P=%d", wl.tag, bq.name, p), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := sys.Execute(context.Background(), res.Plan, bq.q); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
 	}
 }
 

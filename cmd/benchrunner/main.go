@@ -7,16 +7,21 @@
 //
 //	-experiment  which artifact to regenerate:
 //	             table3 | table4 | table5 | table6 | table7 |
-//	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck | all
+//	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
+//	             engine | all
 //	             (default all; ablation is this repo's extra study of
-//	             the TD-CMDP pruning rules)
+//	             the TD-CMDP pruning rules; engine profiles end-to-end
+//	             execution and writes BENCH_engine.json)
 //	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
 //	             timed-out cells print N/A)
 //	-quick       shrink datasets and instance counts for a fast pass
 //	-nodes       simulated cluster size (default 10, as in the paper)
 //	-seed        generator seed (default 1)
-//	-parallelism optimizer worker goroutines (0 = all cores, 1 =
-//	             sequential; identical plan costs either way)
+//	-parallelism optimizer and engine worker goroutines (0 = all
+//	             cores, 1 = sequential; identical plan costs and
+//	             execution results either way)
+//	-enginejson  output path of the engine profile (default
+//	             BENCH_engine.json; empty disables the file)
 //
 // Examples:
 //
@@ -35,13 +40,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table3|table4|table5|table6|table7|fig6|fig7|fig8|fig7and8|all")
+		experiment = flag.String("experiment", "all", "table3|table4|table5|table6|table7|fig6|fig7|fig8|fig7and8|engine|all")
 		timeout    = flag.Duration("timeout", 0, "per-run optimization cap (0 = paper's 600s, or 3s with -quick)")
 		quick      = flag.Bool("quick", false, "small datasets and instance counts")
 		nodes      = flag.Int("nodes", 0, "simulated cluster size (0 = 10)")
 		seed       = flag.Int64("seed", 1, "generator seed")
-		parallel   = flag.Int("parallelism", 0, "optimizer worker goroutines (0 = all cores, 1 = sequential)")
+		parallel   = flag.Int("parallelism", 0, "optimizer and engine worker goroutines (0 = all cores, 1 = sequential)")
 		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory (figures only)")
+		engineJSON = flag.String("enginejson", "BENCH_engine.json", "engine profile output path (empty = no file)")
 	)
 	flag.Parse()
 
@@ -68,8 +74,9 @@ func main() {
 		"ablation":  bench.Ablation,
 		"costcheck": bench.CostModelCheck,
 		"qerror":    bench.QError,
+		"engine":    func(cfg bench.Config) error { return bench.EngineBench(cfg, *engineJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine"}
 
 	run := func(name string) {
 		start := time.Now()

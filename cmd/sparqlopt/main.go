@@ -18,8 +18,9 @@
 //	-dot        print the plan in Graphviz dot syntax
 //	-repl       interactive mode: read ';'-terminated queries from stdin
 //	-timeout    optimization cap (default 600s)
-//	-parallelism  optimizer worker goroutines (0 = all cores, 1 =
-//	              sequential; parallel runs find plans of identical cost)
+//	-parallelism  optimizer and engine worker goroutines (0 = all
+//	              cores, 1 = sequential; parallel runs find plans of
+//	              identical cost and identical execution results)
 //	-demo       use a generated LUBM dataset and query L8
 package main
 
@@ -57,7 +58,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "with -execute: print the per-operator execution trace")
 		dot       = flag.Bool("dot", false, "print the plan in Graphviz dot syntax")
 		timeout   = flag.Duration("timeout", 600*time.Second, "optimization cap")
-		parallel  = flag.Int("parallelism", 0, "optimizer worker goroutines (0 = all cores, 1 = sequential)")
+		parallel  = flag.Int("parallelism", 0, "optimizer and engine worker goroutines (0 = all cores, 1 = sequential)")
 		demo      = flag.Bool("demo", false, "run the built-in LUBM demo")
 		repl      = flag.Bool("repl", false, "interactive mode: read queries from stdin (use with -data or -demo)")
 	)
@@ -175,6 +176,7 @@ func run(cfg runConfig) error {
 	}
 	fmt.Printf("replication factor: %.2f\n", placement.ReplicationFactor(ds.Len()))
 	e := engine.New(ds.Dict, placement)
+	e.SetParallelism(cfg.parallelism)
 	start = time.Now()
 	out, err := e.Execute(context.Background(), res.Plan, q)
 	if err != nil {
@@ -235,6 +237,7 @@ func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism int, 
 		return err
 	}
 	e := engine.New(ds.Dict, placement)
+	e.SetParallelism(parallelism)
 	fmt.Println("enter a SPARQL query followed by a line containing only ';' (ctrl-D to quit):")
 	sc := bufio.NewScanner(os.Stdin)
 	var buf strings.Builder

@@ -48,9 +48,10 @@ type Config struct {
 	// CSVDir, when set, makes the figure experiments additionally
 	// write plot-ready CSV files into this directory.
 	CSVDir string
-	// Parallelism is the optimizer worker count (0 = all cores,
-	// 1 = sequential). Parallel runs find plans of identical cost, so
-	// it only changes optimization time, never table contents.
+	// Parallelism is the optimizer and engine worker count (0 = all
+	// cores, 1 = sequential). Parallel runs find plans of identical
+	// cost and execute to identical results and metrics, so it only
+	// changes wall time, never table contents.
 	Parallelism int
 }
 

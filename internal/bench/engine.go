@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"sparqlopt/internal/engine"
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/workload/lubm"
+	"sparqlopt/internal/workload/watdiv"
+)
+
+// EngineRecord is one executed query in the engine profile: wall
+// time plus the engine's own counters, at one parallelism setting.
+type EngineRecord struct {
+	Workload        string  `json:"workload"`
+	Query           string  `json:"query"`
+	Patterns        int     `json:"patterns"`
+	Nodes           int     `json:"nodes"`
+	Parallelism     int     `json:"parallelism"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Rows            int     `json:"rows"`
+	ScannedTriples  int64   `json:"scanned_triples"`
+	TransferredRows int64   `json:"transferred_rows"`
+	JoinedRows      int64   `json:"joined_rows"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// engineReport is the BENCH_engine.json payload.
+type engineReport struct {
+	Quick   bool           `json:"quick"`
+	Nodes   int            `json:"nodes"`
+	Seed    int64          `json:"seed"`
+	Records []EngineRecord `json:"records"`
+}
+
+// watdivEngineQueries binds a handful of WatDiv templates against the
+// generated data, skipping walks that bind no constant.
+func watdivEngineQueries(cfg Config) (*rdf.Dataset, []benchQuery) {
+	scale := 1500
+	if cfg.Quick {
+		scale = 200
+	}
+	ds := watdiv.GenerateData(watdiv.DataConfig{Scale: scale, Seed: cfg.seed()})
+	var out []benchQuery
+	for _, t := range watdiv.Templates(cfg.seed()) {
+		if t.Query == nil || len(t.Query.Patterns) < 2 {
+			continue
+		}
+		// Binding the walk's start variable to a constant can
+		// disconnect the join graph; those templates are unplannable
+		// without Cartesian products, so skip them.
+		q := t.Bind(ds, cfg.seed())
+		if jg, err := querygraph.NewJoinGraph(q); err != nil || !jg.Connected(jg.All()) {
+			continue
+		}
+		out = append(out, benchQuery{fmt.Sprintf("W%d", t.ID), q, ds})
+		if len(out) == 5 {
+			break
+		}
+	}
+	return ds, out
+}
+
+// EngineBench profiles end-to-end execution — LUBM L1–L10 plus bound
+// WatDiv templates under Hash-SO/TD-Auto — at parallelism 1 and at
+// all cores, printing a table and writing the records to jsonPath
+// (skipped when empty). This is the engine-side analogue of Table V:
+// wall times plus the Metrics counters, machine-readable so the bench
+// trajectory can track the execution data plane over time.
+func EngineBench(cfg Config, jsonPath string) error {
+	lubmDS := lubm.Generate(lubm.Config{Universities: 7, Seed: cfg.seed(), Compact: cfg.Quick})
+	queries := make([]benchQuery, 0, 15)
+	for _, name := range lubm.QueryNames {
+		queries = append(queries, benchQuery{name, lubm.Query(name), lubmDS})
+	}
+	_, wq := watdivEngineQueries(cfg)
+	queries = append(queries, wq...)
+
+	// One engine per dataset; the parallelism sweep reuses it.
+	engines := map[*rdf.Dataset]*engine.Engine{}
+	for _, bq := range queries {
+		if engines[bq.ds] != nil {
+			continue
+		}
+		placement, err := partition.HashSO{}.Partition(bq.ds, cfg.nodes())
+		if err != nil {
+			return err
+		}
+		engines[bq.ds] = engine.New(bq.ds.Dict, placement)
+	}
+
+	report := engineReport{Quick: cfg.Quick, Nodes: cfg.nodes(), Seed: cfg.seed()}
+	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Engine execution profile (Hash-SO, TD-Auto plans)")
+	fmt.Fprintln(w, "Query\tP\tWall\tRows\tScanned\tTransferred\tJoined")
+	sweep := []int{1, runtime.GOMAXPROCS(0)}
+	if sweep[1] == 1 {
+		sweep = sweep[:1] // single-core machine: P=GOMAXPROCS duplicates P=1
+	}
+	for _, bq := range queries {
+		in, err := dataInput(cfg, bq.ds, bq.q, partition.HashSO{})
+		if err != nil {
+			return err
+		}
+		o := runOne(cfg, TDAuto, in)
+		if o.res == nil {
+			fmt.Fprintf(w, "%s\t-\tN/A\t\t\t\t\n", bq.name)
+			continue
+		}
+		for _, p := range sweep {
+			rec := execOne(cfg, engines[bq.ds], o, bq, p)
+			report.Records = append(report.Records, rec)
+			if rec.Error != "" {
+				fmt.Fprintf(w, "%s\t%d\t%s\t\t\t\t\n", bq.name, p, rec.Error)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.3fs\t%d\t%d\t%d\t%d\n",
+				bq.name, p, rec.WallSeconds, rec.Rows,
+				rec.ScannedTriples, rec.TransferredRows, rec.JoinedRows)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out(), "wrote %d records to %s\n", len(report.Records), jsonPath)
+	return nil
+}
+
+// execOne executes one optimized plan at parallelism p.
+func execOne(cfg Config, e *engine.Engine, o outcome, bq benchQuery, p int) EngineRecord {
+	rec := EngineRecord{
+		Workload:    workloadOf(bq.name),
+		Query:       bq.name,
+		Patterns:    len(bq.q.Patterns),
+		Nodes:       cfg.nodes(),
+		Parallelism: p,
+	}
+	e.SetParallelism(p)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.execTimeout())
+	defer cancel()
+	start := time.Now()
+	res, err := e.Execute(ctx, o.res.Plan, bq.q)
+	rec.WallSeconds = time.Since(start).Seconds()
+	if err != nil {
+		if ctx.Err() != nil {
+			rec.Error = ">cap"
+		} else {
+			rec.Error = err.Error()
+		}
+		return rec
+	}
+	rec.Rows = len(res.Rows)
+	rec.ScannedTriples = res.Metrics.ScannedTriples
+	rec.TransferredRows = res.Metrics.TransferredRows
+	rec.JoinedRows = res.Metrics.JoinedRows
+	return rec
+}
+
+func workloadOf(name string) string {
+	switch name[0] {
+	case 'L':
+		return "LUBM"
+	case 'W':
+		return "WatDiv"
+	default:
+		return "UniProt"
+	}
+}

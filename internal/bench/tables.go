@@ -124,7 +124,9 @@ func Table5(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			engines[r.part.Name()][ds] = engine.New(ds.Dict, placement)
+			e := engine.New(ds.Dict, placement)
+			e.SetParallelism(cfg.Parallelism)
+			engines[r.part.Name()][ds] = e
 		}
 	}
 	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)

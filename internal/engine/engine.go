@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,14 @@ type Metrics struct {
 	JoinedRows int64
 }
 
+// add accumulates o into m. Child metrics are merged in child order,
+// so parallel runs report totals identical to sequential ones.
+func (m *Metrics) add(o Metrics) {
+	m.ScannedTriples += o.ScannedTriples
+	m.TransferredRows += o.TransferredRows
+	m.JoinedRows += o.JoinedRows
+}
+
 // Result is the outcome of a query execution.
 type Result struct {
 	// Vars names the output columns.
@@ -39,20 +48,44 @@ type Result struct {
 }
 
 // Engine executes plans over a partitioned dataset, one goroutine per
-// simulated computing node.
+// simulated computing node, plus bounded intra-query parallelism
+// across independent plan subtrees.
 type Engine struct {
 	dict   *rdf.Dict
 	stores []*store
+	// sem is the subtree-parallelism semaphore: nil means sequential
+	// child evaluation, otherwise it holds parallelism-1 slots (the
+	// submitting goroutine is the extra worker).
+	sem chan struct{}
 }
 
 // New builds an engine over the placement produced by a partitioning
 // method. The dictionary must be the one that encoded the triples.
+// The engine defaults to full intra-query parallelism (GOMAXPROCS);
+// see SetParallelism.
 func New(dict *rdf.Dict, placement *partition.Placement) *Engine {
 	e := &Engine{dict: dict, stores: make([]*store, placement.Nodes)}
 	for i, ts := range placement.Triples {
 		e.stores[i] = newStore(ts)
 	}
+	e.SetParallelism(0)
 	return e
+}
+
+// SetParallelism bounds how many independent plan subtrees and
+// shuffle scatters run concurrently: 0 means GOMAXPROCS, any value
+// ≤ 1 evaluates children strictly in order. Results and metrics are
+// identical at every setting. It must not be called concurrently
+// with Execute.
+func (e *Engine) SetParallelism(p int) {
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p <= 1 {
+		e.sem = nil
+		return
+	}
+	e.sem = make(chan struct{}, p-1)
 }
 
 // Nodes returns the cluster size.
@@ -129,6 +162,34 @@ func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, m *Met
 	return out, tr, nil
 }
 
+// forEachBounded runs f(i) for i in [0, n), concurrently up to the
+// engine's parallelism. A task whose slot cannot be acquired runs
+// inline on the submitting goroutine, so recursion through nested
+// operators can never deadlock on the semaphore.
+func (e *Engine) forEachBounded(n int, f func(i int)) {
+	if e.sem == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				f(i)
+			}(i)
+		default:
+			f(i)
+		}
+	}
+	wg.Wait()
+}
+
 // perNode runs f concurrently for every node.
 func (e *Engine) perNode(f func(node int)) {
 	var wg sync.WaitGroup
@@ -140,6 +201,21 @@ func (e *Engine) perNode(f func(node int)) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// perNodeErr runs f concurrently for every node and returns the
+// lowest-numbered node's error, deterministically.
+func (e *Engine) perNodeErr(f func(node int) error) error {
+	errs := make([]error, len(e.stores))
+	e.perNode(func(node int) {
+		errs[node] = f(node)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *Engine) scan(tp int, q *sparql.Query, m *Metrics, tr *TraceNode) []*Relation {
@@ -157,18 +233,30 @@ func (e *Engine) scan(tp int, q *sparql.Query, m *Metrics, tr *TraceNode) []*Rel
 	return out
 }
 
-// evalChildren evaluates all children, preserving order, attaching
-// their traces to tr and restarting the parent's own-time clock.
+// evalChildren evaluates the children of p — concurrently when the
+// parallelism knob allows, since the subtrees of a k-way join are
+// independent — attaching their traces to tr in child order and
+// restarting the parent's own-time clock. Every child accumulates
+// into its own Metrics; the merge happens in child order, so totals
+// are independent of the schedule.
 func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([][]*Relation, error) {
-	children := make([][]*Relation, len(p.Children))
-	for i, ch := range p.Children {
-		r, chTrace, err := e.eval(ctx, ch, q, m)
+	n := len(p.Children)
+	children := make([][]*Relation, n)
+	traces := make([]*TraceNode, n)
+	metrics := make([]Metrics, n)
+	errs := make([]error, n)
+	e.forEachBounded(n, func(i int) {
+		children[i], traces[i], errs[i] = e.eval(ctx, p.Children[i], q, &metrics[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		children[i] = r
-		tr.Children = append(tr.Children, chTrace)
 	}
+	for i := range metrics {
+		m.add(metrics[i])
+	}
+	tr.Children = append(tr.Children, traces...)
 	*start = time.Now()
 	return children, nil
 }
@@ -183,14 +271,22 @@ func (e *Engine) localJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m
 	}
 	out := make([]*Relation, len(e.stores))
 	var joined int64
-	e.perNode(func(node int) {
+	err = e.perNodeErr(func(node int) error {
 		rels := make([]*Relation, len(children))
 		for i := range children {
 			rels[i] = children[i][node]
 		}
-		out[node] = joinAll(rels)
-		atomic.AddInt64(&joined, int64(len(out[node].Rows)))
+		r, err := joinAll(ctx, rels)
+		if err != nil {
+			return err
+		}
+		out[node] = r
+		atomic.AddInt64(&joined, int64(len(r.Rows)))
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	m.JoinedRows += joined
 	return out, nil
 }
@@ -214,82 +310,149 @@ func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Quer
 		}
 	}
 	// Gather and dedupe each small input (replicated fragments may
-	// hold the same row on several nodes).
-	gathered := make([]*Relation, 0, len(children)-1)
-	for i, frags := range children {
-		if i == largest {
-			continue
+	// hold the same row on several nodes). The gathers are independent
+	// per child, so they run under the subtree-parallelism bound; the
+	// transfer accounting is summed in child order afterwards.
+	gathered := make([]*Relation, len(children))
+	moved := make([]int64, len(children))
+	var order []int
+	for i := range children {
+		if i != largest {
+			order = append(order, i)
 		}
-		g := &Relation{Vars: frags[0].Vars}
+	}
+	e.forEachBounded(len(order), func(oi int) {
+		i := order[oi]
+		frags := children[i]
+		// The gather shares the fragments' row storage; no arena copy.
+		g := &Relation{Vars: frags[0].Vars, Rows: make([][]rdf.TermID, 0, sizes[i])}
 		for _, f := range frags {
 			g.Rows = append(g.Rows, f.Rows...)
 		}
 		g.dedup()
 		// Every row ships to every node holding the largest input.
-		moved := int64(len(g.Rows)) * int64(len(e.stores))
-		m.TransferredRows += moved
-		tr.TransferredRows += moved
-		gathered = append(gathered, g)
+		gathered[i] = g
+		moved[i] = int64(len(g.Rows)) * int64(len(e.stores))
+	})
+	small := make([]*Relation, 0, len(children)-1)
+	for _, i := range order {
+		m.TransferredRows += moved[i]
+		tr.TransferredRows += moved[i]
+		small = append(small, gathered[i])
 	}
 	out := make([]*Relation, len(e.stores))
 	var joined int64
-	e.perNode(func(node int) {
+	err = e.perNodeErr(func(node int) error {
 		rels := make([]*Relation, 0, len(children))
 		rels = append(rels, children[largest][node])
-		rels = append(rels, gathered...)
-		out[node] = joinAll(rels)
-		atomic.AddInt64(&joined, int64(len(out[node].Rows)))
+		rels = append(rels, small...)
+		r, err := joinAll(ctx, rels)
+		if err != nil {
+			return err
+		}
+		out[node] = r
+		atomic.AddInt64(&joined, int64(len(r.Rows)))
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	m.JoinedRows += joined
 	return out, nil
 }
 
 // repartitionJoin reshuffles every input on the shared join variable
 // and joins per node. Rows arriving at a node are deduplicated first,
-// collapsing replicas shipped from different source nodes.
+// collapsing replicas shipped from different source nodes. The
+// per-child scatters are independent and run under the parallelism
+// bound; each scatter polls ctx so huge shuffles stay cancellable.
 func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
 	children, err := e.evalChildren(ctx, p, q, m, tr, start)
 	if err != nil {
 		return nil, err
 	}
 	n := len(e.stores)
-	shuffled := make([][]*Relation, len(children)) // [child][node]
+	// Resolve the join column of every input up front (deterministic
+	// error reporting regardless of schedule).
+	cols := make([]int, len(children))
 	for i, frags := range children {
-		col := frags[0].colIndex(p.JoinVar)
-		if col < 0 {
+		cols[i] = frags[0].colIndex(p.JoinVar)
+		if cols[i] < 0 {
 			return nil, fmt.Errorf("engine: repartition variable ?%s missing from input %d", p.JoinVar, i)
 		}
-		buckets := make([]*Relation, n)
-		for b := range buckets {
-			buckets[b] = &Relation{Vars: frags[0].Vars}
+	}
+	shuffled := make([][]*Relation, len(children)) // [child][node]
+	moved := make([]int64, len(children))
+	errs := make([]error, len(children))
+	e.forEachBounded(len(children), func(i int) {
+		shuffled[i], moved[i], errs[i] = e.scatter(ctx, children[i], cols[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		for src, f := range frags {
-			for _, row := range f.Rows {
-				dst := int(uint64(row[col]) % uint64(n))
-				buckets[dst].Rows = append(buckets[dst].Rows, row)
-				if dst != src {
-					m.TransferredRows++
-					tr.TransferredRows++
-				}
-			}
-		}
-		for b := range buckets {
-			buckets[b].dedup()
-		}
-		shuffled[i] = buckets
+	}
+	for i := range children {
+		m.TransferredRows += moved[i]
+		tr.TransferredRows += moved[i]
 	}
 	out := make([]*Relation, n)
 	var joined int64
-	e.perNode(func(node int) {
+	err = e.perNodeErr(func(node int) error {
 		rels := make([]*Relation, len(children))
 		for i := range children {
 			rels[i] = shuffled[i][node]
 		}
-		out[node] = joinAll(rels)
-		atomic.AddInt64(&joined, int64(len(out[node].Rows)))
+		r, err := joinAll(ctx, rels)
+		if err != nil {
+			return err
+		}
+		out[node] = r
+		atomic.AddInt64(&joined, int64(len(r.Rows)))
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	m.JoinedRows += joined
 	return out, nil
+}
+
+// scatter hashes one input's rows to their destination nodes. A first
+// counting pass sizes each bucket's arena exactly, the second copies
+// rows; every bucket is deduplicated before the join.
+func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int) ([]*Relation, int64, error) {
+	n := len(e.stores)
+	counts := make([]int, n)
+	for _, f := range frags {
+		for _, row := range f.Rows {
+			counts[int(uint64(row[col])%uint64(n))]++
+		}
+	}
+	buckets := make([]*Relation, n)
+	for b := range buckets {
+		buckets[b] = newRelation(frags[0].Vars, counts[b])
+	}
+	var moved int64
+	ops := 0
+	for src, f := range frags {
+		for _, row := range f.Rows {
+			if ops++; ops&(cancelEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+			}
+			dst := int(uint64(row[col]) % uint64(n))
+			buckets[dst].appendCopy(row)
+			if dst != src {
+				moved++
+			}
+		}
+	}
+	for b := range buckets {
+		buckets[b].dedup()
+	}
+	return buckets, moved, nil
 }
 
 // Reference executes q on a single node over the full dataset by
@@ -299,6 +462,7 @@ func Reference(ds *rdf.Dataset, q *sparql.Query) (*Result, error) {
 	if len(q.Patterns) == 0 {
 		return nil, fmt.Errorf("engine: empty query")
 	}
+	ctx := context.Background()
 	st := newStore(ds.Triples)
 	var cur *Relation
 	for _, tp := range q.Patterns {
@@ -306,7 +470,11 @@ func Reference(ds *rdf.Dataset, q *sparql.Query) (*Result, error) {
 		if cur == nil {
 			cur = rel
 		} else {
-			cur = hashJoin(cur, rel)
+			var err error
+			cur, err = hashJoin(ctx, cur, rel)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	cur.dedup()

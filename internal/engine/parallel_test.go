@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparqlopt/internal/opt"
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/race"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/workload/randquery"
+)
+
+// datasetFor builds a random dataset whose predicates are exactly the
+// query's, so randquery-generated shapes are executable with a real
+// chance of matches. Deterministic for a given rand source.
+func datasetFor(r *rand.Rand, q *sparql.Query, entities int) *rdf.Dataset {
+	ds := rdf.NewDataset()
+	seen := map[string]bool{}
+	for _, tp := range q.Patterns {
+		p := tp.P.Value
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		for i := 0; i < 3*entities; i++ {
+			s := fmt.Sprintf("n%d", r.Intn(entities))
+			o := fmt.Sprintf("n%d", r.Intn(entities))
+			ds.Add(s, p, o)
+		}
+	}
+	ds.Dedup()
+	return ds
+}
+
+// TestDeterminismParallelExecution is the execution-side analogue of
+// the optimizer's determinism suite: random queries of every class,
+// executed across all partitioning methods with parallel subtree
+// evaluation enabled, must return exactly the sequential engine's
+// rows AND metrics, which in turn must match the single-node
+// reference. Run under -race this also shakes out data races in the
+// concurrent operators.
+func TestDeterminismParallelExecution(t *testing.T) {
+	trials := 10
+	entities := 12
+	if race.Enabled {
+		trials = 5
+		entities = 8
+	}
+	classes := []querygraph.Class{
+		querygraph.Star, querygraph.Chain, querygraph.Cycle, querygraph.Tree, querygraph.Dense,
+	}
+	methods := []partition.Method{
+		partition.HashSO{}, partition.TwoHopForward{}, partition.PathBMC{}, partition.UndirectedOneHop{},
+	}
+	algos := []opt.Algorithm{opt.TDCMD, opt.TDCMDP, opt.HGRTDCMD, opt.TDAuto}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		class := classes[trial%len(classes)]
+		n := 3 + r.Intn(3)
+		q, _ := randquery.Generate(class, n, int64(1000+trial))
+		ds := datasetFor(r, q, entities)
+		want, err := Reference(ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := methods[trial%len(methods)]
+		algo := algos[trial%len(algos)]
+		placement, err := m.Partition(ds, 2+trial%3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := optimizeFor(t, ds, q, m, algo)
+		seqEngine := New(ds.Dict, placement)
+		seqEngine.SetParallelism(1)
+		seq, err := seqEngine.Execute(context.Background(), res.Plan, q)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		equalResults(t, seq, want, fmt.Sprintf("trial %d (%s, %s) sequential vs reference", trial, class, m.Name()))
+		for _, p := range []int{2, 4, 8} {
+			par := New(ds.Dict, placement)
+			par.SetParallelism(p)
+			got, err := par.Execute(context.Background(), res.Plan, q)
+			if err != nil {
+				t.Fatalf("trial %d P=%d: %v", trial, p, err)
+			}
+			label := fmt.Sprintf("trial %d (%s, %s, %v) P=%d", trial, class, m.Name(), algo, p)
+			equalResults(t, got, seq, label)
+			if got.Metrics != seq.Metrics {
+				t.Errorf("%s: metrics diverge: parallel %+v vs sequential %+v", label, got.Metrics, seq.Metrics)
+			}
+			if got.Trace.Operators() != seq.Trace.Operators() {
+				t.Errorf("%s: trace shape diverges: %d vs %d operators", label, got.Trace.Operators(), seq.Trace.Operators())
+			}
+			if got.Trace.TotalTransferred() != seq.Trace.TotalTransferred() {
+				t.Errorf("%s: trace transfer diverges: %d vs %d", label, got.Trace.TotalTransferred(), seq.Trace.TotalTransferred())
+			}
+		}
+	}
+}
+
+// TestDeterminismParallelBenchQuery pins the parallel engine against
+// the hand-checked social-graph queries at every parallelism level.
+func TestDeterminismParallelBenchQuery(t *testing.T) {
+	ds := socialDataset()
+	for _, src := range testQueries {
+		q := sparql.MustParse(src)
+		want, err := Reference(ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := partition.HashSO{}
+		placement, err := m.Partition(ds, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := optimizeFor(t, ds, q, m, opt.TDAuto)
+		for _, p := range []int{1, 2, 4, 8} {
+			e := New(ds.Dict, placement)
+			e.SetParallelism(p)
+			got, err := e.Execute(context.Background(), res.Plan, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalResults(t, got, want, fmt.Sprintf("%s P=%d", src[:15], p))
+		}
+	}
+}
+
+// TestJoinCancelled: a degenerate cross-product join must notice a
+// cancelled context long before materializing its output.
+func TestJoinCancelled(t *testing.T) {
+	a := newRelation([]string{"x"}, 5000)
+	b := newRelation([]string{"y"}, 5000)
+	for i := 0; i < 5000; i++ {
+		a.appendCopy([]rdf.TermID{rdf.TermID(i)})
+		b.appendCopy([]rdf.TermID{rdf.TermID(i)})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := hashJoin(ctx, a, b); err == nil {
+		t.Fatal("cancelled cross product ran to completion")
+	}
+}
+
+// TestScatterCancelled: the repartition scatter polls ctx too.
+func TestScatterCancelled(t *testing.T) {
+	e := New(rdf.NewDataset().Dict, &partition.Placement{Nodes: 2, Triples: make([][]rdf.Triple, 2)})
+	frag := newRelation([]string{"x"}, 10000)
+	for i := 0; i < 10000; i++ {
+		frag.appendCopy([]rdf.TermID{rdf.TermID(i)})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.scatter(ctx, []*Relation{frag, frag}, 0); err == nil {
+		t.Fatal("cancelled scatter ran to completion")
+	}
+}

@@ -10,19 +10,76 @@
 // the root, which also absorbs the replication that partitioning
 // methods such as Hash-SO and 2f introduce. A single-node reference
 // executor provides the ground truth for integration tests.
+//
+// The data plane is columnar-adjacent: a relation's rows live in one
+// flat TermID arena (row i is a slice of it), and all hashing —
+// joins, dedup, projection — runs on 64-bit integer hashes with
+// collision verification, never on materialized string keys.
 package engine
 
 import (
-	"encoding/binary"
+	"context"
 	"sort"
 
 	"sparqlopt/internal/rdf"
 )
 
 // Relation is a set of variable bindings: Rows[i][j] binds Vars[j].
+// Rows produced by this package are backed by the shared arena; the
+// exported [][]TermID shape is kept so stores, traces and tests can
+// keep treating rows as independent slices.
 type Relation struct {
 	Vars []string
 	Rows [][]rdf.TermID
+
+	// arena is the flat backing storage rows are appended into. When
+	// it outgrows its capacity, append moves it to a new array; rows
+	// already handed out keep pointing into the old one, which is
+	// correct (just retained until the relation dies).
+	arena []rdf.TermID
+}
+
+// newRelation returns an empty relation with arena capacity for
+// rowHint rows of len(vars) columns.
+func newRelation(vars []string, rowHint int) *Relation {
+	r := &Relation{Vars: vars}
+	if hint := rowHint * len(vars); hint > 0 {
+		r.arena = make([]rdf.TermID, 0, hint)
+		r.Rows = make([][]rdf.TermID, 0, rowHint)
+	}
+	return r
+}
+
+// row returns the arena segment appended since mark as a full-capacity
+// slice, so a later arena append can never write through it.
+func (r *Relation) row(mark int) []rdf.TermID {
+	return r.arena[mark:len(r.arena):len(r.arena)]
+}
+
+// appendCopy appends a copy of row into the arena.
+func (r *Relation) appendCopy(row []rdf.TermID) {
+	mark := len(r.arena)
+	r.arena = append(r.arena, row...)
+	r.Rows = append(r.Rows, r.row(mark))
+}
+
+// appendMerged appends arow ++ brow[bExtra] without a per-row alloc.
+func (r *Relation) appendMerged(arow, brow []rdf.TermID, bExtra []int) {
+	mark := len(r.arena)
+	r.arena = append(r.arena, arow...)
+	for _, j := range bExtra {
+		r.arena = append(r.arena, brow[j])
+	}
+	r.Rows = append(r.Rows, r.row(mark))
+}
+
+// appendProjected appends row restricted to cols.
+func (r *Relation) appendProjected(row []rdf.TermID, cols []int) {
+	mark := len(r.arena)
+	for _, c := range cols {
+		r.arena = append(r.arena, row[c])
+	}
+	r.Rows = append(r.Rows, r.row(mark))
 }
 
 // colIndex returns the column of v, or -1.
@@ -47,18 +104,94 @@ func sharedVars(a, b *Relation) []string {
 	return out
 }
 
-// rowKey encodes the values of the given columns for hashing.
-func rowKey(row []rdf.TermID, cols []int) string {
-	buf := make([]byte, 4*len(cols))
-	for i, c := range cols {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(row[c]))
+// hashCols folds the values of the given columns into a 64-bit hash
+// (FNV-1a over the raw TermIDs with an avalanche finalizer). Equal
+// column tuples hash equally; collisions are possible and every use
+// below verifies candidates value-by-value.
+func hashCols(row []rdf.TermID, cols []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h ^= uint64(row[c])
+		h *= 1099511628211
 	}
-	return string(buf)
+	// splitmix64 finalizer: FNV alone leaves consecutive TermIDs in
+	// nearby buckets, which degenerates open addressing downstream.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hashRow hashes every column of row.
+func hashRow(row []rdf.TermID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range row {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// equalOn reports whether a's acols equal b's bcols value for value.
+func equalOn(a []rdf.TermID, acols []int, b []rdf.TermID, bcols []int) bool {
+	for i, c := range acols {
+		if a[c] != b[bcols[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalRows reports whether two full rows are identical.
+func equalRows(a, b []rdf.TermID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelEvery is how many hash-table operations a join or dedup loop
+// performs between context polls — the execution-side mirror of the
+// enumerator's per-worker cancellation counters.
+const cancelEvery = 4096
+
+// rowTable is an integer-hash multimap from column tuples to row
+// indices: buckets of candidate rows per 64-bit hash, verified
+// value-by-value on probe. It replaces the string-keyed maps the
+// engine used to build per join.
+type rowTable struct {
+	buckets map[uint64][]int32
+	rows    [][]rdf.TermID
+	cols    []int
+}
+
+// newRowTable indexes rows on cols.
+func newRowTable(rows [][]rdf.TermID, cols []int) *rowTable {
+	t := &rowTable{
+		buckets: make(map[uint64][]int32, len(rows)),
+		rows:    rows,
+		cols:    cols,
+	}
+	for i, row := range rows {
+		h := hashCols(row, cols)
+		t.buckets[h] = append(t.buckets[h], int32(i))
+	}
+	return t
 }
 
 // hashJoin joins two relations on all their shared variables (natural
 // join). With no shared variables it degrades to the cross product.
-func hashJoin(a, b *Relation) *Relation {
+// The probe loop polls ctx so runaway joins stay cancellable.
+func hashJoin(ctx context.Context, a, b *Relation) (*Relation, error) {
 	shared := sharedVars(a, b)
 	aCols := make([]int, len(shared))
 	bCols := make([]int, len(shared))
@@ -67,54 +200,72 @@ func hashJoin(a, b *Relation) *Relation {
 		bCols[i] = b.colIndex(v)
 	}
 	// Output schema: a's vars then b's non-shared vars.
+	outVars := append([]string{}, a.Vars...)
 	var bExtra []int
-	out := &Relation{Vars: append([]string{}, a.Vars...)}
 	for j, v := range b.Vars {
 		if a.colIndex(v) < 0 {
-			out.Vars = append(out.Vars, v)
+			outVars = append(outVars, v)
 			bExtra = append(bExtra, j)
 		}
 	}
-	// Build on the smaller side.
+	small := len(a.Rows)
+	if len(b.Rows) < small {
+		small = len(b.Rows)
+	}
+	out := newRelation(outVars, small)
+	// Build on the smaller side; ops counts probe steps and emitted
+	// rows so even a degenerate cross product polls ctx regularly.
+	ops := 0
 	if len(a.Rows) > len(b.Rows) {
-		index := make(map[string][][]rdf.TermID, len(b.Rows))
-		for _, row := range b.Rows {
-			k := rowKey(row, bCols)
-			index[k] = append(index[k], row)
-		}
+		index := newRowTable(b.Rows, bCols)
 		for _, arow := range a.Rows {
-			for _, brow := range index[rowKey(arow, aCols)] {
-				out.Rows = append(out.Rows, mergeRows(arow, brow, bExtra))
+			for _, bi := range index.buckets[hashCols(arow, aCols)] {
+				if ops++; ops&(cancelEvery-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				brow := b.Rows[bi]
+				if !equalOn(arow, aCols, brow, bCols) {
+					continue
+				}
+				out.appendMerged(arow, brow, bExtra)
+			}
+			if ops++; ops&(cancelEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 			}
 		}
-		return out
+		return out, nil
 	}
-	index := make(map[string][][]rdf.TermID, len(a.Rows))
-	for _, row := range a.Rows {
-		k := rowKey(row, aCols)
-		index[k] = append(index[k], row)
-	}
+	index := newRowTable(a.Rows, aCols)
 	for _, brow := range b.Rows {
-		for _, arow := range index[rowKey(brow, bCols)] {
-			out.Rows = append(out.Rows, mergeRows(arow, brow, bExtra))
+		for _, ai := range index.buckets[hashCols(brow, bCols)] {
+			if ops++; ops&(cancelEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			arow := a.Rows[ai]
+			if !equalOn(brow, bCols, arow, aCols) {
+				continue
+			}
+			out.appendMerged(arow, brow, bExtra)
+		}
+		if ops++; ops&(cancelEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return out
-}
-
-func mergeRows(arow, brow []rdf.TermID, bExtra []int) []rdf.TermID {
-	row := make([]rdf.TermID, 0, len(arow)+len(bExtra))
-	row = append(row, arow...)
-	for _, j := range bExtra {
-		row = append(row, brow[j])
-	}
-	return row
+	return out, nil
 }
 
 // joinAll folds a multiway natural join, greedily preferring inputs
 // that share a variable with the accumulated result so intermediate
 // cross products are avoided whenever the join graph allows.
-func joinAll(rels []*Relation) *Relation {
+func joinAll(ctx context.Context, rels []*Relation) (*Relation, error) {
 	cur := rels[0]
 	used := make([]bool, len(rels))
 	used[0] = true
@@ -134,26 +285,33 @@ func joinAll(rels []*Relation) *Relation {
 				}
 			}
 		}
-		cur = hashJoin(cur, rels[pick])
+		var err error
+		cur, err = hashJoin(ctx, cur, rels[pick])
+		if err != nil {
+			return nil, err
+		}
 		used[pick] = true
 	}
-	return cur
+	return cur, nil
 }
 
 // dedup removes duplicate rows in place (order is canonicalized).
 func (r *Relation) dedup() {
-	all := make([]int, len(r.Vars))
-	for i := range all {
-		all[i] = i
-	}
-	seen := make(map[string]struct{}, len(r.Rows))
+	seen := make(map[uint64][]int32, len(r.Rows))
 	out := r.Rows[:0]
 	for _, row := range r.Rows {
-		k := rowKey(row, all)
-		if _, dup := seen[k]; dup {
+		h := hashRow(row)
+		dup := false
+		for _, i := range seen[h] {
+			if equalRows(out[i], row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[h] = append(seen[h], int32(len(out)))
 		out = append(out, row)
 	}
 	r.Rows = out
@@ -174,34 +332,48 @@ func (r *Relation) sortRows() {
 }
 
 // project returns the relation restricted to the named variables,
-// deduplicated. Unknown variables are rejected by the caller.
+// deduplicated. Unknown variables are rejected by the caller. The
+// duplicate check hashes the source row through the column map, so no
+// row is materialized unless it survives.
 func (r *Relation) project(vars []string) *Relation {
 	cols := make([]int, len(vars))
 	for i, v := range vars {
 		cols[i] = r.colIndex(v)
 	}
-	out := &Relation{Vars: append([]string{}, vars...)}
-	seen := map[string]struct{}{}
+	out := newRelation(append([]string{}, vars...), len(r.Rows))
+	seen := make(map[uint64][]int32, len(r.Rows))
+	idCols := seqCols(len(cols))
 	for _, row := range r.Rows {
-		nrow := make([]rdf.TermID, len(cols))
-		for i, c := range cols {
-			nrow[i] = row[c]
+		h := hashCols(row, cols)
+		dup := false
+		for _, i := range seen[h] {
+			if equalOn(row, cols, out.Rows[i], idCols) {
+				dup = true
+				break
+			}
 		}
-		k := rowKey(nrow, seqInts(len(cols)))
-		if _, dup := seen[k]; dup {
+		if dup {
 			continue
 		}
-		seen[k] = struct{}{}
-		out.Rows = append(out.Rows, nrow)
+		seen[h] = append(seen[h], int32(len(out.Rows)))
+		out.appendProjected(row, cols)
 	}
 	out.sortRows()
 	return out
 }
 
-func seqInts(n int) []int {
+// seqCols returns [0, 1, ..., n-1] from a small static pool, so the
+// identity column map costs nothing in hot loops.
+func seqCols(n int) []int {
+	if n <= len(identityCols) {
+		return identityCols[:n]
+	}
 	out := make([]int, n)
 	for i := range out {
 		out[i] = i
 	}
 	return out
 }
+
+var identityCols = [...]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+	16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31}

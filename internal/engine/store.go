@@ -79,16 +79,18 @@ func bindPattern(dict *rdf.Dict, tp sparql.TriplePattern) boundPattern {
 }
 
 // match scans the store for the pattern, using the most selective
-// available index.
+// available index. Matching rows are appended into the relation's
+// arena — one allocation for the whole scan, not one per row.
 func (s *store) match(bp boundPattern) *Relation {
-	rel := &Relation{Vars: bp.vars}
 	if bp.unknown {
-		return rel
+		return &Relation{Vars: bp.vars}
 	}
 	candidates := s.candidates(bp)
 	if bp.scanned != nil {
 		*bp.scanned += int64(len(candidates))
 	}
+	rel := newRelation(bp.vars, len(candidates))
+	var row [3]rdf.TermID // a triple pattern binds at most 3 variables
 	for _, i := range candidates {
 		t := s.triples[i]
 		if bp.sConst && t.S != bp.s {
@@ -100,9 +102,8 @@ func (s *store) match(bp boundPattern) *Relation {
 		if bp.oConst && t.O != bp.o {
 			continue
 		}
-		row := make([]rdf.TermID, len(bp.vars))
-		if fillRow(row, bp, t) {
-			rel.Rows = append(rel.Rows, row)
+		if fillRow(row[:len(bp.vars)], bp, t) {
+			rel.appendCopy(row[:len(bp.vars)])
 		}
 	}
 	return rel
@@ -112,15 +113,15 @@ func (s *store) match(bp boundPattern) *Relation {
 // variable (e.g. ?x <p> ?x) must bind equal values. It reports whether
 // the triple is a match.
 func fillRow(row []rdf.TermID, bp boundPattern, t rdf.Triple) bool {
-	filledCols := make([]bool, len(row))
+	var filled [3]bool
 	put := func(c int, v rdf.TermID) bool {
 		if c < 0 {
 			return true
 		}
-		if filledCols[c] {
+		if filled[c] {
 			return row[c] == v
 		}
-		filledCols[c] = true
+		filled[c] = true
 		row[c] = v
 		return true
 	}

@@ -24,11 +24,16 @@ type TraceNode struct {
 	// TransferredRows is this operator's own network contribution.
 	TransferredRows int64
 	// Elapsed is the operator's own wall time, excluding children.
+	// Sibling operators may be evaluated concurrently (the engine's
+	// intra-query parallelism), so sibling Elapsed values can overlap
+	// in wall time; their sum can exceed the query's wall time.
 	Elapsed time.Duration
 	// EstimatedCard is the optimizer's cardinality estimate, kept for
 	// estimate-vs-actual comparison.
 	EstimatedCard float64
-	// Children mirror the plan's inputs.
+	// Children mirror the plan's inputs, always in plan child order —
+	// parallel child evaluation attaches traces by index, never in
+	// completion order.
 	Children []*TraceNode
 }
 

@@ -99,22 +99,24 @@ func DefaultCostParams() CostParams { return cost.Default }
 // System is a partitioned dataset ready to optimize and execute
 // queries — the in-process analogue of the paper's prototype cluster.
 type System struct {
-	ds         *Dataset
-	method     Method
-	params     CostParams
-	sampleRate float64
-	placement  *partition.Placement
-	engine     *engine.Engine
+	ds          *Dataset
+	method      Method
+	params      CostParams
+	sampleRate  float64
+	parallelism int
+	placement   *partition.Placement
+	engine      *engine.Engine
 }
 
 // Option configures Open.
 type Option func(*openConfig)
 
 type openConfig struct {
-	method     Method
-	params     CostParams
-	nodes      int
-	sampleRate float64
+	method      Method
+	params      CostParams
+	nodes       int
+	sampleRate  float64
+	parallelism int
 }
 
 // WithMethod selects the data partitioning method (default HashSO).
@@ -126,6 +128,13 @@ func WithNodes(n int) Option { return func(c *openConfig) { c.nodes = n } }
 
 // WithCostParams overrides the cost-model constants.
 func WithCostParams(p CostParams) Option { return func(c *openConfig) { c.params = p } }
+
+// WithParallelism bounds the worker goroutines of both the optimizer
+// (plan enumeration) and the execution engine (independent join
+// subtrees, shuffle scatters): 0 means GOMAXPROCS, 1 forces the
+// sequential paths. Plans, results and metrics are identical at every
+// setting — the knob only changes wall time.
+func WithParallelism(p int) Option { return func(c *openConfig) { c.parallelism = p } }
 
 // WithSampledStats makes Optimize collect statistics from a
 // systematic sample of the dataset instead of full scans — the
@@ -150,13 +159,16 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 	if cfg.sampleRate <= 0 || cfg.sampleRate > 1 {
 		return nil, fmt.Errorf("sparqlopt: sampling rate %v outside (0, 1]", cfg.sampleRate)
 	}
+	eng := engine.New(ds.Dict, placement)
+	eng.SetParallelism(cfg.parallelism)
 	return &System{
-		ds:         ds,
-		method:     cfg.method,
-		params:     cfg.params,
-		sampleRate: cfg.sampleRate,
-		placement:  placement,
-		engine:     engine.New(ds.Dict, placement),
+		ds:          ds,
+		method:      cfg.method,
+		params:      cfg.params,
+		sampleRate:  cfg.sampleRate,
+		parallelism: cfg.parallelism,
+		placement:   placement,
+		engine:      eng,
 	}, nil
 }
 
@@ -201,7 +213,7 @@ func (s *System) input(q *Query) (*opt.Input, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &opt.Input{Query: q, Views: views, Est: est, Params: s.params, Method: s.method}, nil
+	return &opt.Input{Query: q, Views: views, Est: est, Params: s.params, Method: s.method, Parallelism: s.parallelism}, nil
 }
 
 // Execute runs a previously optimized plan on the simulated cluster.
