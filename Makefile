@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race determinism bench bench-smoke check
+.PHONY: all vet build test race determinism bench bench-smoke fuzz-smoke check
 
 all: check
 
@@ -39,4 +39,11 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkExecute -benchtime=1x .
 
-check: vet build race determinism bench-smoke
+# Short fuzzing passes over the parser and the plan-cache
+# fingerprinter, seeded from the checked-in corpora. 5 s each: enough
+# to replay the corpus and mutate a little, fast enough for the gate.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/sparql
+	$(GO) test -run='^$$' -fuzz='^FuzzCanonicalize$$' -fuzztime=5s ./internal/querygraph
+
+check: vet build race determinism bench-smoke fuzz-smoke

@@ -315,3 +315,39 @@ func BenchmarkEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunCached measures the full serving path — parse, plan,
+// execute — for repeated queries with the plan cache on and off. The
+// cached rows are identical; the delta is pure planning overhead
+// (statistics collection + enumeration) that the cache removes.
+func BenchmarkRunCached(b *testing.B) {
+	ds := lubm.Generate(lubm.Config{Universities: 1, Seed: 1, Compact: true})
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"uncached", nil},
+		{"cached", []Option{WithPlanCache(64)}},
+	} {
+		sys, err := Open(ds, append([]Option{WithNodes(4)}, mode.opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"L1", "L2", "L7", "L9"} {
+			src := lubm.QueryText(name)
+			// Prime the cache so the cached variant measures the warm
+			// path, not the first miss.
+			if _, err := sys.Run(context.Background(), src, TDAuto); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", mode.name, name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Run(context.Background(), src, TDAuto); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -8,10 +8,12 @@
 //	-experiment  which artifact to regenerate:
 //	             table3 | table4 | table5 | table6 | table7 |
 //	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
-//	             engine | all
+//	             engine | plancache | all
 //	             (default all; ablation is this repo's extra study of
 //	             the TD-CMDP pruning rules; engine profiles end-to-end
-//	             execution and writes BENCH_engine.json)
+//	             execution and writes BENCH_engine.json; plancache
+//	             replays LUBM L1–L10 cold vs warm through the plan
+//	             cache and writes BENCH_plancache.json)
 //	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
 //	             timed-out cells print N/A)
 //	-quick       shrink datasets and instance counts for a fast pass
@@ -22,6 +24,8 @@
 //	             execution results either way)
 //	-enginejson  output path of the engine profile (default
 //	             BENCH_engine.json; empty disables the file)
+//	-plancachejson  output path of the plan cache profile (default
+//	             BENCH_plancache.json; empty disables the file)
 //
 // Examples:
 //
@@ -40,7 +44,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table3|table4|table5|table6|table7|fig6|fig7|fig8|fig7and8|engine|all")
+		experiment = flag.String("experiment", "all", "table3|table4|table5|table6|table7|fig6|fig7|fig8|fig7and8|engine|plancache|all")
 		timeout    = flag.Duration("timeout", 0, "per-run optimization cap (0 = paper's 600s, or 3s with -quick)")
 		quick      = flag.Bool("quick", false, "small datasets and instance counts")
 		nodes      = flag.Int("nodes", 0, "simulated cluster size (0 = 10)")
@@ -48,6 +52,7 @@ func main() {
 		parallel   = flag.Int("parallelism", 0, "optimizer and engine worker goroutines (0 = all cores, 1 = sequential)")
 		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory (figures only)")
 		engineJSON = flag.String("enginejson", "BENCH_engine.json", "engine profile output path (empty = no file)")
+		pcJSON     = flag.String("plancachejson", "BENCH_plancache.json", "plan cache profile output path (empty = no file)")
 	)
 	flag.Parse()
 
@@ -75,8 +80,9 @@ func main() {
 		"costcheck": bench.CostModelCheck,
 		"qerror":    bench.QError,
 		"engine":    func(cfg bench.Config) error { return bench.EngineBench(cfg, *engineJSON) },
+		"plancache": func(cfg bench.Config) error { return bench.PlanCacheBench(cfg, *pcJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache"}
 
 	run := func(name string) {
 		start := time.Now()

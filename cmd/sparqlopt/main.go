@@ -21,6 +21,11 @@
 //	-parallelism  optimizer and engine worker goroutines (0 = all
 //	              cores, 1 = sequential; parallel runs find plans of
 //	              identical cost and identical execution results)
+//	-plancache  capacity of the serving-path plan cache in query
+//	            fingerprints (0 = disabled). Repeated query shapes in
+//	            -repl mode are then served from cached plan templates
+//	            (identical results, no re-optimization); applies to the
+//	            td-* algorithms, baselines always optimize fresh
 //	-demo       use a generated LUBM dataset and query L8
 package main
 
@@ -38,6 +43,7 @@ import (
 	"sparqlopt/internal/engine"
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
+	"sparqlopt/internal/plancache"
 	"sparqlopt/internal/querygraph"
 	"sparqlopt/internal/rdf"
 	"sparqlopt/internal/sparql"
@@ -59,6 +65,7 @@ func main() {
 		dot       = flag.Bool("dot", false, "print the plan in Graphviz dot syntax")
 		timeout   = flag.Duration("timeout", 600*time.Second, "optimization cap")
 		parallel  = flag.Int("parallelism", 0, "optimizer and engine worker goroutines (0 = all cores, 1 = sequential)")
+		planCache = flag.Int("plancache", 0, "serving-path plan cache capacity in query fingerprints (0 = disabled)")
 		demo      = flag.Bool("demo", false, "run the built-in LUBM demo")
 		repl      = flag.Bool("repl", false, "interactive mode: read queries from stdin (use with -data or -demo)")
 	)
@@ -67,7 +74,7 @@ func main() {
 		dataPath: *dataPath, queryPath: *queryPath, algorithm: *algorithm,
 		partName: *partName, nodes: *nodes, execute: *execute,
 		explain: *explain, dot: *dot, timeout: *timeout, demo: *demo,
-		repl: *repl, parallelism: *parallel,
+		repl: *repl, parallelism: *parallel, planCache: *planCache,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
 		os.Exit(1)
@@ -78,6 +85,7 @@ type runConfig struct {
 	dataPath, queryPath, algorithm, partName string
 	nodes                                    int
 	parallelism                              int
+	planCache                                int
 	execute, explain, dot, demo, repl        bool
 	timeout                                  time.Duration
 }
@@ -129,7 +137,7 @@ func run(cfg runConfig) error {
 		return err
 	}
 	if cfg.repl {
-		return replLoop(ds, method, nodes, cfg.parallelism, algorithm, timeout)
+		return replLoop(ds, method, nodes, cfg.parallelism, cfg.planCache, algorithm, timeout)
 	}
 	fmt.Printf("dataset: %d triples; query: %d triple patterns\n", ds.Len(), len(q.Patterns))
 
@@ -227,10 +235,27 @@ func optimize(ctx context.Context, in *opt.Input, algorithm string) (*opt.Result
 	return nil, fmt.Errorf("unknown algorithm %q", algorithm)
 }
 
+// optAlgo maps a CLI algorithm name to the optimizer's enum; baseline
+// algorithms (msc, dp-bushy, binary-dp) are not cacheable.
+func optAlgo(name string) (opt.Algorithm, bool) {
+	switch name {
+	case "td-cmd":
+		return opt.TDCMD, true
+	case "td-cmdp":
+		return opt.TDCMDP, true
+	case "hgr-td-cmd":
+		return opt.HGRTDCMD, true
+	case "td-auto":
+		return opt.TDAuto, true
+	}
+	return 0, false
+}
+
 // replLoop reads SPARQL queries from stdin (terminated by a line
 // containing just ';'), optimizing and executing each against the
-// partitioned dataset.
-func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism int, algorithm string, timeout time.Duration) error {
+// partitioned dataset. With planCache > 0 and a td-* algorithm,
+// repeated query shapes are served from cached plan templates.
+func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism, planCache int, algorithm string, timeout time.Duration) error {
 	fmt.Printf("dataset: %d triples; partitioning with %s onto %d nodes...\n", ds.Len(), method.Name(), nodes)
 	placement, err := method.Partition(ds, nodes)
 	if err != nil {
@@ -238,6 +263,11 @@ func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism int, 
 	}
 	e := engine.New(ds.Dict, placement)
 	e.SetParallelism(parallelism)
+	var cache *plancache.Cache
+	if _, cacheable := optAlgo(algorithm); cacheable && planCache > 0 {
+		cache = plancache.New(planCache)
+		fmt.Printf("plan cache: %d fingerprints\n", cache.Capacity())
+	}
 	fmt.Println("enter a SPARQL query followed by a line containing only ';' (ctrl-D to quit):")
 	sc := bufio.NewScanner(os.Stdin)
 	var buf strings.Builder
@@ -256,7 +286,7 @@ func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism int, 
 			prompt()
 			continue
 		}
-		if err := replOne(ds, e, method, nodes, parallelism, algorithm, timeout, src); err != nil {
+		if err := replOne(ds, e, cache, method, nodes, parallelism, algorithm, timeout, src); err != nil {
 			fmt.Println("error:", err)
 		}
 		prompt()
@@ -265,31 +295,61 @@ func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism int, 
 	return sc.Err()
 }
 
-func replOne(ds *rdf.Dataset, e *engine.Engine, method partition.Method, nodes, parallelism int, algorithm string, timeout time.Duration, src string) error {
+func replOne(ds *rdf.Dataset, e *engine.Engine, cache *plancache.Cache, method partition.Method, nodes, parallelism int, algorithm string, timeout time.Duration, src string) error {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
 	}
-	views, err := querygraph.Build(q)
-	if err != nil {
-		return err
+	params := cost.Default
+	params.Nodes = nodes
+	buildInput := func(q *sparql.Query, st *stats.Stats) (*opt.Input, error) {
+		views, err := querygraph.Build(q)
+		if err != nil {
+			return nil, err
+		}
+		est, err := stats.NewEstimator(q, st)
+		if err != nil {
+			return nil, err
+		}
+		return &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: params, Parallelism: parallelism}, nil
 	}
-	st, err := stats.Collect(ds, q)
-	if err != nil {
-		return err
-	}
-	est, err := stats.NewEstimator(q, st)
-	if err != nil {
-		return err
-	}
-	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default, Parallelism: parallelism}
-	in.Params.Nodes = nodes
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := optimize(ctx, in, algorithm)
-	if err != nil {
-		return err
+	var res *opt.Result
+	cacheNote := ""
+	if algo, ok := optAlgo(algorithm); ok && cache != nil {
+		served, info, err := cache.Optimize(ctx, q, algo, ds.Epoch(),
+			func(q *sparql.Query) (*stats.Stats, error) { return stats.Collect(ds, q) },
+			func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error) {
+				in, err := buildInput(q, st)
+				if err != nil {
+					return nil, err
+				}
+				return opt.Optimize(ctx, in, algo)
+			})
+		if err != nil {
+			return err
+		}
+		res = served
+		if info.Hit {
+			cacheNote = ", plan cache hit"
+		} else {
+			cacheNote = ", plan cached"
+		}
+	} else {
+		st, err := stats.Collect(ds, q)
+		if err != nil {
+			return err
+		}
+		in, err := buildInput(q, st)
+		if err != nil {
+			return err
+		}
+		res, err = optimize(ctx, in, algorithm)
+		if err != nil {
+			return err
+		}
 	}
 	optDur := time.Since(start)
 	start = time.Now()
@@ -297,9 +357,9 @@ func replOne(ds *rdf.Dataset, e *engine.Engine, method partition.Method, nodes, 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d results in %v (optimized in %v, cost %.4g, %d rows moved)\n",
+	fmt.Printf("%d results in %v (optimized in %v%s, cost %.4g, %d rows moved)\n",
 		len(out.Rows), time.Since(start).Round(time.Microsecond),
-		optDur.Round(time.Microsecond), res.Plan.Cost, out.Metrics.TransferredRows)
+		optDur.Round(time.Microsecond), cacheNote, res.Plan.Cost, out.Metrics.TransferredRows)
 	limit := len(out.Rows)
 	if limit > 20 {
 		limit = 20

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"sparqlopt/internal/engine"
+	"sparqlopt/internal/opt"
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/plancache"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
+	"sparqlopt/internal/workload/lubm"
+)
+
+// PlanCacheRecord is one benchmark query measured cold (cache miss:
+// statistics collection + plan enumeration) and warm (cache hit:
+// canonicalize + remap). Planning and end-to-end times are reported
+// separately so the plan-serving speedup isn't diluted by execution,
+// which the cache deliberately leaves untouched.
+type PlanCacheRecord struct {
+	Query            string  `json:"query"`
+	Patterns         int     `json:"patterns"`
+	ColdPlanSeconds  float64 `json:"cold_plan_seconds"`
+	WarmPlanSeconds  float64 `json:"warm_plan_seconds"` // average over WarmRuns
+	WarmRuns         int     `json:"warm_runs"`
+	PlanSpeedup      float64 `json:"plan_speedup"` // cold / warm
+	ColdTotalSeconds float64 `json:"cold_total_seconds"`
+	WarmTotalSeconds float64 `json:"warm_total_seconds"` // average, incl. execution
+	TotalSpeedup     float64 `json:"total_speedup"`
+	Rows             int     `json:"rows"`
+	IdenticalRows    bool    `json:"identical_rows"`        // warm rows == uncached rows
+	EnumeratedJoins  int64   `json:"enumerated_joins"`      // cold run
+	WarmEnumerated   int64   `json:"warm_enumerated_joins"` // must stay 0
+	Error            string  `json:"error,omitempty"`
+}
+
+// planCacheReport is the BENCH_plancache.json payload.
+type planCacheReport struct {
+	Quick            bool              `json:"quick"`
+	Nodes            int               `json:"nodes"`
+	Seed             int64             `json:"seed"`
+	Capacity         int               `json:"capacity"`
+	Hits             int64             `json:"hits"`
+	Misses           int64             `json:"misses"`
+	HitRatio         float64           `json:"hit_ratio"`
+	MeanPlanSpeedup  float64           `json:"mean_plan_speedup"`
+	MeanTotalSpeedup float64           `json:"mean_total_speedup"`
+	Records          []PlanCacheRecord `json:"records"`
+}
+
+// PlanCacheBench replays LUBM L1–L10 through the cached serving path:
+// each query runs once cold, then warmRuns times warm, against a
+// Hash-SO cluster. It verifies warm rows match an uncached evaluation
+// bit for bit, then writes per-query latencies, speedups and the
+// cache's own counters to jsonPath (skipped when empty).
+func PlanCacheBench(cfg Config, jsonPath string) error {
+	ds := lubm.Generate(lubm.Config{Universities: 7, Seed: cfg.seed(), Compact: cfg.Quick})
+	placement, err := partition.HashSO{}.Partition(ds, cfg.nodes())
+	if err != nil {
+		return err
+	}
+	eng := engine.New(ds.Dict, placement)
+	eng.SetParallelism(cfg.Parallelism)
+
+	capacity := 256
+	cache := plancache.New(capacity)
+	collect := func(q *sparql.Query) (*stats.Stats, error) { return stats.Collect(ds, q) }
+	var optCalls atomic.Int64
+	optimize := func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error) {
+		optCalls.Add(1)
+		in, err := makeInput(cfg, q, st, partition.HashSO{})
+		if err != nil {
+			return nil, err
+		}
+		return opt.Optimize(ctx, in, opt.TDAuto)
+	}
+	warmRuns := 100
+	if cfg.Quick {
+		warmRuns = 10
+	}
+
+	report := planCacheReport{Quick: cfg.Quick, Nodes: cfg.nodes(), Seed: cfg.seed(), Capacity: capacity}
+	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Plan cache profile (Hash-SO, TD-Auto, %d warm runs per query)\n", warmRuns)
+	fmt.Fprintln(w, "Query\tColdPlan\tWarmPlan\tSpeedup\tColdTotal\tWarmTotal\tRows\tIdentical")
+	var planSpeedupSum, totalSpeedupSum float64
+	measured := 0
+	for _, name := range lubm.QueryNames {
+		rec, err := planCacheOne(cfg, eng, cache, ds, name, collect, optimize, &optCalls, warmRuns)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		report.Records = append(report.Records, rec)
+		if rec.Error != "" {
+			fmt.Fprintf(w, "%s\t%s\t\t\t\t\t\t\n", name, rec.Error)
+			continue
+		}
+		planSpeedupSum += rec.PlanSpeedup
+		totalSpeedupSum += rec.TotalSpeedup
+		measured++
+		fmt.Fprintf(w, "%s\t%.2gs\t%.2gs\t%.0fx\t%.2gs\t%.2gs\t%d\t%v\n",
+			name, rec.ColdPlanSeconds, rec.WarmPlanSeconds, rec.PlanSpeedup,
+			rec.ColdTotalSeconds, rec.WarmTotalSeconds, rec.Rows, rec.IdenticalRows)
+	}
+	c := cache.Counters()
+	report.Hits, report.Misses = c.Hits, c.Misses
+	if c.Hits+c.Misses > 0 {
+		report.HitRatio = float64(c.Hits) / float64(c.Hits+c.Misses)
+	}
+	if measured > 0 {
+		report.MeanPlanSpeedup = planSpeedupSum / float64(measured)
+		report.MeanTotalSpeedup = totalSpeedupSum / float64(measured)
+	}
+	fmt.Fprintf(w, "hits %d, misses %d (ratio %.3f); mean plan speedup %.0fx, mean total speedup %.1fx\n",
+		report.Hits, report.Misses, report.HitRatio, report.MeanPlanSpeedup, report.MeanTotalSpeedup)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out(), "wrote %d records to %s\n", len(report.Records), jsonPath)
+	return nil
+}
+
+// planCacheOne measures one query cold and warm. The cached rows are
+// compared against an uncached optimize+execute of the same query.
+func planCacheOne(cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rdf.Dataset,
+	name string, collect plancache.CollectFunc, optimize plancache.OptimizeFunc,
+	optCalls *atomic.Int64, warmRuns int) (PlanCacheRecord, error) {
+	q := lubm.Query(name)
+	rec := PlanCacheRecord{Query: name, Patterns: len(q.Patterns), WarmRuns: warmRuns}
+	epoch := ds.Epoch()
+
+	// Uncached baseline rows for the bit-identical check.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout())
+	defer cancel()
+	base, err := optimize(ctx, q, mustCollect(collect, q))
+	if err != nil {
+		rec.Error = err.Error()
+		return rec, nil
+	}
+	want, err := eng.Execute(ctx, base.Plan, q)
+	if err != nil {
+		rec.Error = err.Error()
+		return rec, nil
+	}
+
+	// Cold: first pass through the cache (miss).
+	start := time.Now()
+	res, info, err := cache.Optimize(ctx, q, opt.TDAuto, epoch, collect, optimize)
+	rec.ColdPlanSeconds = time.Since(start).Seconds()
+	if err != nil {
+		return rec, err
+	}
+	if info.Hit {
+		return rec, fmt.Errorf("first cache pass reported a hit")
+	}
+	rec.EnumeratedJoins = res.Counter.CMDs
+	out, err := eng.Execute(ctx, res.Plan, q)
+	if err != nil {
+		return rec, err
+	}
+	rec.ColdTotalSeconds = time.Since(start).Seconds()
+	rec.Rows = len(out.Rows)
+
+	// Warm: repeated hits. Re-parse each round — a serving system sees
+	// fresh query text, and parsing is part of the warm path.
+	src := lubm.QueryText(name)
+	callsBefore := optCalls.Load()
+	var warmPlan, warmTotal time.Duration
+	identical := true
+	for i := 0; i < warmRuns; i++ {
+		roundStart := time.Now()
+		wq, err := sparql.Parse(src)
+		if err != nil {
+			return rec, err
+		}
+		res, info, err := cache.Optimize(ctx, wq, opt.TDAuto, epoch, collect, optimize)
+		if err != nil {
+			return rec, err
+		}
+		warmPlan += time.Since(roundStart)
+		if !info.Hit {
+			return rec, fmt.Errorf("warm run %d missed the cache", i)
+		}
+		out, err := eng.Execute(ctx, res.Plan, wq)
+		if err != nil {
+			return rec, err
+		}
+		warmTotal += time.Since(roundStart)
+		if !rowsEqual(out.Rows, want.Rows) {
+			identical = false
+		}
+	}
+	if calls := optCalls.Load() - callsBefore; calls != 0 {
+		// The optimizer ran during the warm phase: attribute the cold
+		// run's enumeration count to it so the report can't claim a
+		// free warm path that wasn't.
+		rec.WarmEnumerated = calls * base.Counter.CMDs
+	}
+	rec.WarmPlanSeconds = warmPlan.Seconds() / float64(warmRuns)
+	rec.WarmTotalSeconds = warmTotal.Seconds() / float64(warmRuns)
+	rec.IdenticalRows = identical
+	if rec.WarmPlanSeconds > 0 {
+		rec.PlanSpeedup = rec.ColdPlanSeconds / rec.WarmPlanSeconds
+	}
+	if rec.WarmTotalSeconds > 0 {
+		rec.TotalSpeedup = rec.ColdTotalSeconds / rec.WarmTotalSeconds
+	}
+	return rec, nil
+}
+
+func mustCollect(collect plancache.CollectFunc, q *sparql.Query) *stats.Stats {
+	s, err := collect(q)
+	if err != nil {
+		panic(err) // collect over a generated dataset cannot fail
+	}
+	return s
+}
+
+func rowsEqual(a, b [][]rdf.TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -34,6 +34,27 @@ func (m *Metrics) add(o Metrics) {
 	m.JoinedRows += o.JoinedRows
 }
 
+// CacheInfo reports how the serving-path plan cache treated the Run
+// that produced a Result. The zero value means the run did not go
+// through a cache (caching disabled, or the caller optimized and
+// executed separately).
+type CacheInfo struct {
+	// Enabled reports that the run went through a plan cache.
+	Enabled bool
+	// Hit reports that the plan came from the cache rather than a
+	// fresh optimization.
+	Hit bool
+	// Shared reports that the run blocked on another goroutine's
+	// in-flight optimization of the same fingerprint (singleflight).
+	Shared bool
+	// Epoch is the dataset epoch the served plan was derived under.
+	Epoch uint64
+	// EnumeratedJoins is the number of join operators this run's own
+	// optimization enumerated — 0 on a cache hit, the optimizer's
+	// CMD counter on a miss.
+	EnumeratedJoins int64
+}
+
 // Result is the outcome of a query execution.
 type Result struct {
 	// Vars names the output columns.
@@ -45,6 +66,9 @@ type Result struct {
 	// Trace is the per-operator execution profile (EXPLAIN ANALYZE),
 	// mirroring the plan tree.
 	Trace *TraceNode
+	// Cache describes plan-cache behavior when the result came from a
+	// cached serving path (System.Run with WithPlanCache).
+	Cache CacheInfo
 }
 
 // Engine executes plans over a partitioned dataset, one goroutine per

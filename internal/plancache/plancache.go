@@ -1,0 +1,374 @@
+// Package plancache is the serving-path plan cache: it makes repeated
+// queries skip the optimizer entirely. The paper makes per-query
+// optimization cheap; this layer makes it amortized-free for the hot
+// part of a workload, the way production RDF stores (PHD-Store,
+// AdPart) reuse plans and placement for recurring query patterns.
+//
+// Three mechanisms compose:
+//
+//   - Canonical fingerprints (querygraph.Canonicalize) collapse every
+//     query of one shape — same join structure and predicates,
+//     constants in the same subject/object positions — onto one cache
+//     entry. Cached plans and statistics snapshots are stored in the
+//     canonical index/name space and remapped to each concrete query
+//     on the way in and out, so ?x <knows> <alice> can be served with
+//     the plan optimized for ?y <knows> <bob>.
+//
+//   - A lock-striped LRU (the sharding mirrors the optimizer's memo
+//     table) bounds the number of resident fingerprints; eviction is
+//     per shard, counters are global.
+//
+//   - Singleflight: the first goroutine to miss on a (fingerprint,
+//     algorithm) pair owns the optimization; concurrent missers block
+//     on its future instead of re-optimizing. Combined with epoch
+//     tags — every cached artifact carries the dataset epoch it was
+//     derived under and is dropped when the epoch moves — this gives
+//     exactly one optimization per fingerprint, algorithm and epoch.
+//
+// Serving a template plan to a query with different constants is the
+// standard parameterized-plan trade-off: the plan is always valid
+// (execution is exact, so result rows are identical to an uncached
+// run), but it was costed under the first query's constants and may
+// be suboptimal for skewed parameters.
+package plancache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/opt"
+	"sparqlopt/internal/plan"
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
+)
+
+// numShards is the number of lock stripes. Like the optimizer's memo
+// table, enough stripes that concurrent serving goroutines rarely
+// contend, few enough that the table stays small.
+const numShards = 16
+
+// CollectFunc computes fresh per-pattern statistics for q.
+type CollectFunc func(q *sparql.Query) (*stats.Stats, error)
+
+// OptimizeFunc runs the actual optimizer for a cache miss, using the
+// provided statistics (which may be a remapped cached snapshot).
+type OptimizeFunc func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error)
+
+// Counters is a snapshot of the cache's cumulative behavior.
+type Counters struct {
+	// Hits counts Optimize calls served from a cached plan template.
+	Hits int64
+	// Misses counts Optimize calls that ran the optimizer.
+	Misses int64
+	// Evictions counts entries dropped by the LRU capacity bound.
+	Evictions int64
+	// SingleflightWaits counts Optimize calls that blocked on another
+	// goroutine's in-flight optimization of the same fingerprint
+	// instead of duplicating it.
+	SingleflightWaits int64
+	// Invalidations counts entries reset because the dataset epoch
+	// moved past the one they were derived under.
+	Invalidations int64
+	// StatsHits / StatsMisses count statistics-snapshot reuse vs.
+	// fresh stats.Collect scans.
+	StatsHits   int64
+	StatsMisses int64
+}
+
+// Info describes how the cache treated one Optimize call.
+type Info struct {
+	// Hit reports that the plan came from the cache (including plans
+	// produced by an optimization this call waited on).
+	Hit bool
+	// Shared reports that this call blocked on another goroutine's
+	// in-flight optimization (singleflight deduplication).
+	Shared bool
+	// Epoch is the dataset epoch the served plan was derived under.
+	Epoch uint64
+}
+
+// Cache is a sharded LRU of plan templates and statistics snapshots
+// keyed by canonical query fingerprint. It is safe for concurrent use.
+type Cache struct {
+	capPerShard int
+	shards      [numShards]shard
+
+	hits, misses, evictions atomic.Int64
+	waits, invalidations    atomic.Int64
+	statsHits, statsMisses  atomic.Int64
+}
+
+type shard struct {
+	mu   sync.Mutex
+	byFP map[[2]uint64]*list.Element
+	lru  *list.List // of *entry; front = most recently used
+}
+
+// entry holds everything cached for one fingerprint. All fields after
+// mu are guarded by it; fp and key are immutable.
+type entry struct {
+	fp  [2]uint64
+	key string
+
+	mu    sync.Mutex
+	valid bool   // epoch has been set at least once
+	epoch uint64 // dataset epoch the contents were derived under
+	// cstats is the statistics snapshot in canonical space (nil until
+	// the first collection at this epoch).
+	cstats *stats.Stats
+	// plans holds one future per algorithm, in canonical space.
+	plans map[opt.Algorithm]*slot
+}
+
+// slot is the singleflight future for one (fingerprint, algorithm)
+// optimization. The owner fills the result fields and closes done
+// exactly once; waiters block on done and read afterwards. A slot
+// that failed carries err and has been removed from entry.plans, so
+// later calls retry.
+type slot struct {
+	done    chan struct{}
+	plan    *plan.Node // canonical space
+	counter opt.Counter
+	used    opt.Algorithm
+	groups  []bitset.TPSet // canonical space
+	err     error
+}
+
+// New returns a cache holding at least capacity fingerprints (rounded
+// up to a multiple of the shard count). capacity <= 0 returns nil —
+// a nil *Cache is the "caching disabled" value and must not be used.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + numShards - 1) / numShards
+	c := &Cache{capPerShard: per}
+	for i := range c.shards {
+		c.shards[i].byFP = make(map[[2]uint64]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// Capacity returns the effective capacity in fingerprints.
+func (c *Cache) Capacity() int { return c.capPerShard * numShards }
+
+// Len returns the number of resident fingerprints.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Counters returns a snapshot of the cumulative counters.
+func (c *Cache) Counters() Counters {
+	return Counters{
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Evictions:         c.evictions.Load(),
+		SingleflightWaits: c.waits.Load(),
+		Invalidations:     c.invalidations.Load(),
+		StatsHits:         c.statsHits.Load(),
+		StatsMisses:       c.statsMisses.Load(),
+	}
+}
+
+// entryFor returns the (possibly fresh) entry for canon, updating LRU
+// order and evicting past capacity. It returns nil on a 128-bit
+// fingerprint collision between different templates — the newcomer is
+// then served uncached rather than aliased onto the wrong shape.
+func (c *Cache) entryFor(canon *querygraph.Canon) *entry {
+	sh := &c.shards[canon.Fingerprint[0]%numShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byFP[canon.Fingerprint]; ok {
+		e := el.Value.(*entry)
+		if e.key != canon.Key {
+			return nil
+		}
+		sh.lru.MoveToFront(el)
+		return e
+	}
+	e := &entry{fp: canon.Fingerprint, key: canon.Key, plans: make(map[opt.Algorithm]*slot)}
+	sh.byFP[canon.Fingerprint] = sh.lru.PushFront(e)
+	for sh.lru.Len() > c.capPerShard {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.byFP, back.Value.(*entry).fp)
+		c.evictions.Add(1)
+	}
+	return e
+}
+
+// syncEpoch drops stale contents when the dataset epoch moved.
+// Callers must hold e.mu. In-flight owners of dropped slots still
+// resolve their own slot objects (waiters holding them are woken
+// normally); the slots are simply no longer reachable for new calls.
+func (e *entry) syncEpoch(epoch uint64, c *Cache) {
+	if e.valid && e.epoch == epoch {
+		return
+	}
+	if e.valid && (e.cstats != nil || len(e.plans) > 0) {
+		c.invalidations.Add(1)
+	}
+	e.valid = true
+	e.epoch = epoch
+	e.cstats = nil
+	e.plans = make(map[opt.Algorithm]*slot)
+}
+
+// Optimize returns an optimization result for q under algo and the
+// given dataset epoch, serving a remapped cached template when one
+// exists, joining an in-flight optimization of the same fingerprint
+// when one is running, and otherwise optimizing via the callbacks
+// (collect may be skipped when a statistics snapshot is cached). The
+// returned result's plan is always in q's own pattern/variable space.
+func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorithm, epoch uint64,
+	collect CollectFunc, optimize OptimizeFunc) (*opt.Result, Info, error) {
+	canon, err := querygraph.Canonicalize(q)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	e := c.entryFor(canon)
+	if e == nil {
+		// Fingerprint collision: bypass the cache for this query.
+		c.misses.Add(1)
+		c.statsMisses.Add(1)
+		st, err := collect(q)
+		if err != nil {
+			return nil, Info{}, err
+		}
+		res, err := optimize(ctx, q, st)
+		return res, Info{Epoch: epoch}, err
+	}
+
+	e.mu.Lock()
+	e.syncEpoch(epoch, c)
+	if s, ok := e.plans[algo]; ok {
+		e.mu.Unlock()
+		shared := false
+		select {
+		case <-s.done:
+		default:
+			shared = true
+			c.waits.Add(1)
+			select {
+			case <-s.done:
+			case <-ctx.Done():
+				return nil, Info{}, ctx.Err()
+			}
+		}
+		if s.err != nil {
+			// The owner failed and removed the slot; surface its error
+			// (fresh calls will retry the optimization).
+			return nil, Info{Epoch: epoch}, s.err
+		}
+		c.hits.Add(1)
+		return &opt.Result{
+			Plan:    remapPlan(s.plan, canon.PatternOf, canon.VarOf),
+			Counter: s.counter,
+			Used:    s.used,
+			Groups:  remapGroups(s.groups, canon.PatternOf),
+		}, Info{Hit: true, Shared: shared, Epoch: epoch}, nil
+	}
+
+	// This goroutine owns the optimization for (fingerprint, algo).
+	s := &slot{done: make(chan struct{})}
+	e.plans[algo] = s
+	var st *stats.Stats
+	if e.cstats != nil {
+		st = e.cstats.Remap(canon.CanonOf, canon.VarOf)
+	}
+	e.mu.Unlock()
+
+	c.misses.Add(1)
+	if st != nil {
+		c.statsHits.Add(1)
+	} else {
+		c.statsMisses.Add(1)
+		qs, err := collect(q)
+		if err != nil {
+			c.fail(e, algo, s, err)
+			return nil, Info{Epoch: epoch}, err
+		}
+		st = qs
+		snap := qs.Remap(canon.PatternOf, canon.CanonVar)
+		e.mu.Lock()
+		if e.valid && e.epoch == epoch && e.cstats == nil {
+			e.cstats = snap
+		}
+		e.mu.Unlock()
+	}
+
+	res, err := optimize(ctx, q, st)
+	if err != nil {
+		c.fail(e, algo, s, err)
+		return nil, Info{Epoch: epoch}, err
+	}
+	s.plan = remapPlan(res.Plan, canon.CanonOf, canon.CanonVar)
+	s.counter = res.Counter
+	s.used = res.Used
+	s.groups = remapGroups(res.Groups, canon.CanonOf)
+	close(s.done)
+	return res, Info{Epoch: epoch}, nil
+}
+
+// fail resolves s with err and unpublishes it so later calls retry.
+func (c *Cache) fail(e *entry, algo opt.Algorithm, s *slot, err error) {
+	s.err = err
+	close(s.done)
+	e.mu.Lock()
+	if e.plans[algo] == s {
+		delete(e.plans, algo)
+	}
+	e.mu.Unlock()
+}
+
+// StatsFor returns per-pattern statistics for q at the given epoch,
+// remapping the fingerprint's cached snapshot when one exists and
+// collecting (and caching) fresh ones otherwise. Unlike Optimize it
+// does not singleflight: concurrent first collections of one
+// fingerprint may duplicate work, and the last snapshot stored wins —
+// snapshots for the same (fingerprint, epoch) are interchangeable.
+func (c *Cache) StatsFor(q *sparql.Query, epoch uint64, collect CollectFunc) (*stats.Stats, bool, error) {
+	canon, err := querygraph.Canonicalize(q)
+	if err != nil {
+		return nil, false, err
+	}
+	e := c.entryFor(canon)
+	if e == nil {
+		c.statsMisses.Add(1)
+		st, err := collect(q)
+		return st, false, err
+	}
+	e.mu.Lock()
+	e.syncEpoch(epoch, c)
+	if e.cstats != nil {
+		st := e.cstats.Remap(canon.CanonOf, canon.VarOf)
+		e.mu.Unlock()
+		c.statsHits.Add(1)
+		return st, true, nil
+	}
+	e.mu.Unlock()
+	c.statsMisses.Add(1)
+	st, err := collect(q)
+	if err != nil {
+		return nil, false, err
+	}
+	snap := st.Remap(canon.PatternOf, canon.CanonVar)
+	e.mu.Lock()
+	if e.valid && e.epoch == epoch && e.cstats == nil {
+		e.cstats = snap
+	}
+	e.mu.Unlock()
+	return st, false, nil
+}

@@ -1,0 +1,130 @@
+package querygraph
+
+import (
+	"testing"
+
+	"sparqlopt/internal/sparql"
+)
+
+func canon(t *testing.T, src string) *Canon {
+	t.Helper()
+	c, err := Canonicalize(sparql.MustParse(src))
+	if err != nil {
+		t.Fatalf("Canonicalize(%q): %v", src, err)
+	}
+	return c
+}
+
+func TestCanonicalizeInvariantUnderRenamingAndReordering(t *testing.T) {
+	base := canon(t, `SELECT * WHERE {
+		?x <http://knows> ?y .
+		?y <http://worksFor> ?o .
+		?o <http://inCity> <http://berlin> .
+	}`)
+	variants := []string{
+		// Renamed variables.
+		`SELECT * WHERE {
+			?a <http://knows> ?b .
+			?b <http://worksFor> ?c .
+			?c <http://inCity> <http://berlin> .
+		}`,
+		// Reordered patterns.
+		`SELECT * WHERE {
+			?o <http://inCity> <http://berlin> .
+			?x <http://knows> ?y .
+			?y <http://worksFor> ?o .
+		}`,
+		// Different constant, same position (the parameter lift).
+		`SELECT * WHERE {
+			?x <http://knows> ?y .
+			?y <http://worksFor> ?o .
+			?o <http://inCity> <http://munich> .
+		}`,
+		// Different projection: the template covers the BGP only.
+		`SELECT ?x WHERE {
+			?x <http://knows> ?y .
+			?y <http://worksFor> ?o .
+			?o <http://inCity> <http://berlin> .
+		}`,
+	}
+	for i, src := range variants {
+		c := canon(t, src)
+		if c.Key != base.Key {
+			t.Errorf("variant %d: key\n%q\nwant\n%q", i, c.Key, base.Key)
+		}
+		if c.Fingerprint != base.Fingerprint {
+			t.Errorf("variant %d: fingerprint %v, want %v", i, c.Fingerprint, base.Fingerprint)
+		}
+	}
+}
+
+func TestCanonicalizeDistinguishesShapes(t *testing.T) {
+	keys := map[string]string{}
+	for name, src := range map[string]string{
+		"chain":            `SELECT * WHERE { ?x <http://p> ?y . ?y <http://p> ?z . }`,
+		"star":             `SELECT * WHERE { ?x <http://p> ?y . ?x <http://p> ?z . }`,
+		"other-predicate":  `SELECT * WHERE { ?x <http://q> ?y . ?y <http://p> ?z . }`,
+		"constant-subject": `SELECT * WHERE { <http://a> <http://p> ?y . ?y <http://p> ?z . }`,
+		"constant-object":  `SELECT * WHERE { ?x <http://p> <http://a> . ?x <http://p> ?z . }`,
+		"literal-object":   `SELECT * WHERE { ?x <http://p> "a" . ?x <http://p> ?z . }`,
+		"three":            `SELECT * WHERE { ?x <http://p> ?y . ?y <http://p> ?z . ?z <http://p> ?w . }`,
+		"self":             `SELECT * WHERE { ?x <http://p> ?x . ?x <http://p> ?z . }`,
+	} {
+		c := canon(t, src)
+		for other, key := range keys {
+			if key == c.Key {
+				t.Errorf("%s and %s share key %q", name, other, c.Key)
+			}
+		}
+		keys[name] = c.Key
+	}
+}
+
+func TestCanonicalizeMapsAreInverses(t *testing.T) {
+	q := sparql.MustParse(`SELECT * WHERE {
+		?o <http://inCity> <http://berlin> .
+		?x <http://knows> ?y .
+		?y <http://worksFor> ?o .
+		?x <http://age> "42" .
+	}`)
+	c, err := Canonicalize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PatternOf) != len(q.Patterns) || len(c.CanonOf) != len(q.Patterns) {
+		t.Fatalf("map sizes %d/%d, want %d", len(c.PatternOf), len(c.CanonOf), len(q.Patterns))
+	}
+	for ci, qi := range c.PatternOf {
+		if c.CanonOf[qi] != ci {
+			t.Errorf("CanonOf[PatternOf[%d]] = %d", ci, c.CanonOf[qi])
+		}
+	}
+	for name, cn := range c.CanonVar {
+		if c.VarOf[cn] != name {
+			t.Errorf("VarOf[CanonVar[%s]] = %s", name, c.VarOf[cn])
+		}
+	}
+	vars := q.Vars()
+	if len(c.CanonVar) != len(vars) {
+		t.Errorf("canonicalized %d vars, query has %d", len(c.CanonVar), len(vars))
+	}
+}
+
+func TestCanonicalizeDeterministic(t *testing.T) {
+	src := `SELECT * WHERE {
+		?a <http://p> ?b . ?b <http://q> ?c . ?c <http://p> ?a .
+		?b <http://r> "x" . ?d <http://q> ?a .
+	}`
+	first := canon(t, src)
+	for i := 0; i < 20; i++ {
+		if c := canon(t, src); c.Key != first.Key || c.Fingerprint != first.Fingerprint {
+			t.Fatalf("run %d: nondeterministic canonicalization", i)
+		}
+	}
+}
+
+func TestCanonicalizeRejectsEmpty(t *testing.T) {
+	if _, err := Canonicalize(&sparql.Query{}); err == nil {
+		t.Fatal("expected error for empty query")
+	}
+}

@@ -1,0 +1,53 @@
+package querygraph
+
+import (
+	"testing"
+
+	"sparqlopt/internal/sparql"
+)
+
+// FuzzCanonicalize drives the fingerprinter with arbitrary query text.
+// Whatever the parser accepts, canonicalization must not panic, must
+// be deterministic, and must return self-consistent pattern/variable
+// maps — the plan cache relies on all three.
+func FuzzCanonicalize(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?x <p> ?y . }`,
+		`SELECT * WHERE { ?x <p> ?y . ?y <p> ?z . ?z <p> ?x . }`,
+		`SELECT * WHERE { ?x <p> ?y . ?x <q> ?y . ?x <p> ?z . }`,
+		`SELECT * WHERE { <a> <p> ?y . ?y <q> "lit" . }`,
+		`SELECT * WHERE { ?x ?p ?y . }`,
+		`SELECT * WHERE { ?x <p> ?x . }`,
+		`PREFIX u: <http://u#> SELECT ?a WHERE { ?a u:p ?b . ?b u:q ?c . }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			return
+		}
+		c, err := Canonicalize(q)
+		if err != nil {
+			return // empty or oversized BGPs are rejected, not bugs
+		}
+		c2, err := Canonicalize(q)
+		if err != nil || c2.Key != c.Key || c2.Fingerprint != c.Fingerprint {
+			t.Fatalf("nondeterministic canonicalization of %q", src)
+		}
+		if len(c.PatternOf) != len(q.Patterns) || len(c.CanonOf) != len(q.Patterns) {
+			t.Fatalf("pattern map size mismatch for %q", src)
+		}
+		for ci, qi := range c.PatternOf {
+			if qi < 0 || qi >= len(q.Patterns) || c.CanonOf[qi] != ci {
+				t.Fatalf("pattern maps not inverse permutations for %q", src)
+			}
+		}
+		for v, cv := range c.CanonVar {
+			if c.VarOf[cv] != v {
+				t.Fatalf("variable maps not inverses for %q", src)
+			}
+		}
+	})
+}

@@ -69,9 +69,19 @@ func (d *Dict) Len() int { return len(d.terms) }
 
 // Dataset is a set of triples together with the dictionary that
 // encodes them.
+//
+// A Dataset carries a monotonically increasing epoch, bumped by every
+// mutation through its methods (Add, AddTriple, Dedup). Consumers that
+// cache anything derived from the triples — collected statistics,
+// optimized plans — record the epoch they observed and treat a moved
+// epoch as an invalidation signal. Code that appends to Triples
+// directly bypasses the epoch; all in-tree mutators go through the
+// methods.
 type Dataset struct {
 	Dict    *Dict
 	Triples []Triple
+
+	epoch uint64
 }
 
 // NewDataset returns an empty dataset with a fresh dictionary.
@@ -81,11 +91,20 @@ func NewDataset() *Dataset { return &Dataset{Dict: NewDict()} }
 func (ds *Dataset) Add(s, p, o string) Triple {
 	t := Triple{ds.Dict.Intern(s), ds.Dict.Intern(p), ds.Dict.Intern(o)}
 	ds.Triples = append(ds.Triples, t)
+	ds.epoch++
 	return t
 }
 
 // AddTriple appends an already-encoded triple.
-func (ds *Dataset) AddTriple(t Triple) { ds.Triples = append(ds.Triples, t) }
+func (ds *Dataset) AddTriple(t Triple) {
+	ds.Triples = append(ds.Triples, t)
+	ds.epoch++
+}
+
+// Epoch returns the dataset's mutation counter. Two calls returning
+// the same value bracket a span with no method-level mutations, so
+// statistics or plans derived in between are still valid.
+func (ds *Dataset) Epoch() uint64 { return ds.epoch }
 
 // Len returns the number of triples.
 func (ds *Dataset) Len() int { return len(ds.Triples) }
@@ -100,6 +119,7 @@ func (ds *Dataset) Dedup() {
 		}
 	}
 	ds.Triples = out
+	ds.epoch++
 }
 
 // String renders a triple using the dataset's dictionary, for debugging.

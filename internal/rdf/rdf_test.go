@@ -163,3 +163,23 @@ func TestQuickGraphDegreeSum(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDatasetEpoch(t *testing.T) {
+	ds := NewDataset()
+	if ds.Epoch() != 0 {
+		t.Fatalf("fresh dataset epoch %d, want 0", ds.Epoch())
+	}
+	tr := ds.Add("a", "p", "b")
+	if ds.Epoch() != 1 {
+		t.Errorf("epoch after Add = %d, want 1", ds.Epoch())
+	}
+	ds.AddTriple(tr)
+	if ds.Epoch() != 2 {
+		t.Errorf("epoch after AddTriple = %d, want 2", ds.Epoch())
+	}
+	before := ds.Epoch()
+	ds.Dedup()
+	if ds.Epoch() <= before {
+		t.Errorf("Dedup must bump the epoch: %d -> %d", before, ds.Epoch())
+	}
+}

@@ -11,6 +11,17 @@ func FuzzParse(f *testing.F) {
 		`PREFIX ub: <http://u#> SELECT ?x ?y WHERE { ?x ub:p ?y . ?y ub:q "lit"@en . }`,
 		`SELECT * WHERE { ?x <p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
 		`SELECT`, `{`, `PREFIX : <`, "SELECT * WHERE { ?x ?p ?y . ?y ?q ?z }",
+		// LUBM-style shapes: chains, stars, constants at every position.
+		`PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		 SELECT ?x ?y ?z WHERE {
+			?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y . ?x ub:undergraduateDegreeFrom ?y .
+		 }`,
+		`SELECT * WHERE { <http://a> <http://p> ?y . ?y <http://q> "lit" . ?y <http://r> ?z . }`,
+		// Degenerate and hostile inputs.
+		"", "SELECT * WHERE { }", "SELECT * WHERE { ?x <p> ?y", "# comment only",
+		"SELECT * WHERE { ?x <p\x00q> ?y . }", `SELECT * WHERE { ?x <p> "unterminated }`,
+		"PREFIX a: <u> PREFIX a: <v> SELECT * WHERE { a:x a:y a:z . }",
+		"SELECT * WHERE { ?x\t<p>\n?y\r. }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

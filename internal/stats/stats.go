@@ -30,12 +30,16 @@ type PatternStats struct {
 // Stats aligns one PatternStats with each pattern of a query.
 type Stats struct {
 	Patterns []PatternStats
+	// Epoch is the dataset mutation counter observed by Collect.
+	// Caches keyed on query shape compare it against the live
+	// dataset's Epoch() to detect stale snapshots.
+	Epoch uint64
 }
 
 // Collect scans the dataset once per pattern and computes exact
 // statistics: match counts and distinct bindings per variable.
 func Collect(ds *rdf.Dataset, q *sparql.Query) (*Stats, error) {
-	s := &Stats{Patterns: make([]PatternStats, len(q.Patterns))}
+	s := &Stats{Patterns: make([]PatternStats, len(q.Patterns)), Epoch: ds.Epoch()}
 	for i, tp := range q.Patterns {
 		ps, err := collectPattern(ds, tp)
 		if err != nil {
@@ -131,6 +135,7 @@ func CollectSampled(ds *rdf.Dataset, q *sparql.Query, rate float64) (*Stats, err
 	if err != nil {
 		return nil, err
 	}
+	s.Epoch = ds.Epoch() // the sample dataset is a throwaway at epoch 0
 	scale := float64(step)
 	for i := range s.Patterns {
 		s.Patterns[i].Card *= scale
@@ -143,6 +148,28 @@ func CollectSampled(ds *rdf.Dataset, q *sparql.Query, rate float64) (*Stats, err
 		}
 	}
 	return s, nil
+}
+
+// Remap returns a copy of s with its patterns reordered and its
+// variables renamed: output pattern i is s.Patterns[perm[i]], and
+// every binding key v becomes rename[v] (keys absent from rename are
+// kept). The plan cache uses it to move a snapshot between a query's
+// own pattern/variable space and the canonical template space shared
+// by all queries of one fingerprint.
+func (s *Stats) Remap(perm []int, rename map[string]string) *Stats {
+	out := &Stats{Patterns: make([]PatternStats, len(perm)), Epoch: s.Epoch}
+	for i, from := range perm {
+		ps := s.Patterns[from]
+		cp := PatternStats{Card: ps.Card, Bindings: make(map[string]float64, len(ps.Bindings))}
+		for v, b := range ps.Bindings {
+			if nv, ok := rename[v]; ok {
+				v = nv
+			}
+			cp.Bindings[v] = b
+		}
+		out.Patterns[i] = cp
+	}
+	return out
 }
 
 // Estimator computes and memoizes subquery cardinalities for one

@@ -1,0 +1,268 @@
+package sparqlopt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cacheDataset builds a small social graph with enough predicate and
+// constant variety to give eight distinct query shapes non-empty
+// answers.
+func cacheDataset() *Dataset {
+	ds := NewDataset()
+	people := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	orgs := []string{"acme", "globex"}
+	for i, p := range people {
+		ds.Add("http://"+p, "http://knows", "http://"+people[(i+1)%len(people)])
+		ds.Add("http://"+p, "http://knows", "http://"+people[(i+2)%len(people)])
+		ds.Add("http://"+p, "http://worksFor", "http://"+orgs[i%len(orgs)])
+		ds.Add("http://"+p, "http://age", fmt.Sprintf("%d", 20+i))
+	}
+	for _, o := range orgs {
+		ds.Add("http://"+o, "http://inCity", "http://berlin")
+		ds.Add("http://"+o, "http://name", "n-"+o)
+	}
+	return ds
+}
+
+// Eight distinct fingerprints: different shapes, predicates and
+// constant placements.
+var cacheQueries = []string{
+	`SELECT * WHERE { ?x <http://knows> ?y . }`,
+	`SELECT * WHERE { ?x <http://knows> ?y . ?y <http://worksFor> ?o . }`,
+	`SELECT * WHERE { ?x <http://worksFor> ?o . ?o <http://inCity> <http://berlin> . }`,
+	`SELECT * WHERE { ?x <http://knows> ?y . ?x <http://knows> ?z . }`,
+	`SELECT * WHERE { <http://alice> <http://knows> ?y . ?y <http://age> ?a . }`,
+	`SELECT * WHERE { ?x <http://worksFor> ?o . ?o <http://name> ?n . }`,
+	`SELECT * WHERE { ?x <http://knows> ?y . ?y <http://knows> ?z . ?z <http://worksFor> ?o . }`,
+	`SELECT * WHERE { ?o <http://inCity> ?c . ?o <http://name> ?n . }`,
+}
+
+func sameRows(t *testing.T, label string, got, want *ExecResult) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if len(got.Rows[i]) != len(want.Rows[i]) {
+			t.Fatalf("%s: row %d width %d, want %d", label, i, len(got.Rows[i]), len(want.Rows[i]))
+		}
+		for j := range got.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("%s: row %d col %d: %v, want %v", label, i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+// TestPlanCacheConcurrent hammers one cached System with 64 goroutines
+// mixing 8 query fingerprints. Every result must be bit-identical to
+// the uncached system's answer, and each fingerprint must be optimized
+// exactly once per epoch. Run under -race this also exercises the
+// singleflight and shard locking.
+func TestPlanCacheConcurrent(t *testing.T) {
+	ds := cacheDataset()
+	cached, err := Open(ds, WithNodes(4), WithPlanCache(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(ds, WithNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*ExecResult, len(cacheQueries))
+	for i, src := range cacheQueries {
+		if want[i], err = plain.Run(context.Background(), src, TDCMD); err != nil {
+			t.Fatalf("uncached %d: %v", i, err)
+		}
+		if want[i].Cache.Enabled {
+			t.Fatal("uncached system reports cache enabled")
+		}
+	}
+
+	const workers = 64
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < len(cacheQueries); k++ {
+				i := (w + k) % len(cacheQueries)
+				got, err := cached.Run(context.Background(), cacheQueries[i], TDCMD)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d query %d: %w", w, i, err)
+					return
+				}
+				if len(got.Rows) != len(want[i].Rows) {
+					errc <- fmt.Errorf("worker %d query %d: %d rows, want %d",
+						w, i, len(got.Rows), len(want[i].Rows))
+					return
+				}
+				for r := range got.Rows {
+					for c := range got.Rows[r] {
+						if got.Rows[r][c] != want[i].Rows[r][c] {
+							errc <- fmt.Errorf("worker %d query %d: row %d differs", w, i, r)
+							return
+						}
+					}
+				}
+				if !got.Cache.Enabled {
+					errc <- fmt.Errorf("worker %d query %d: cache not enabled", w, i)
+					return
+				}
+				if got.Cache.Hit && got.Cache.EnumeratedJoins != 0 {
+					errc <- fmt.Errorf("worker %d query %d: hit enumerated %d joins",
+						w, i, got.Cache.EnumeratedJoins)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := cached.CacheStats()
+	if st.Misses != int64(len(cacheQueries)) {
+		t.Errorf("%d misses, want exactly one optimization per fingerprint (%d)",
+			st.Misses, len(cacheQueries))
+	}
+	if got, wantN := st.Hits+st.Misses, int64(workers*len(cacheQueries)); got != wantN {
+		t.Errorf("hits+misses = %d, want %d", got, wantN)
+	}
+
+	// Epoch bump: every fingerprint is re-optimized exactly once more.
+	ds.Add("http://zed", "http://knows", "http://alice")
+	for _, src := range cacheQueries {
+		res, err := cached.Run(context.Background(), src, TDCMD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cache.Hit {
+			t.Fatalf("stale plan served after dataset mutation: %q", src)
+		}
+	}
+	st = cached.CacheStats()
+	if st.Misses != int64(2*len(cacheQueries)) {
+		t.Errorf("%d misses after epoch bump, want %d", st.Misses, 2*len(cacheQueries))
+	}
+	if st.Invalidations == 0 {
+		t.Error("no invalidations recorded after epoch bump")
+	}
+	// And the re-optimized plans are cached again.
+	res, err := cached.Run(context.Background(), cacheQueries[0], TDCMD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cache.Hit {
+		t.Error("no hit at the new epoch")
+	}
+}
+
+// TestPlanCacheTemplateReuse verifies that an isomorphic query —
+// renamed variables, shuffled patterns, a different constant — is
+// served from the cached template and still returns exactly the rows
+// the reference evaluator produces for *its* constants.
+func TestPlanCacheTemplateReuse(t *testing.T) {
+	ds := cacheDataset()
+	sys, err := Open(ds, WithNodes(4), WithPlanCache(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := `SELECT * WHERE { <http://alice> <http://knows> ?y . ?y <http://age> ?a . }`
+	if _, err := sys.Run(context.Background(), seed, TDAuto); err != nil {
+		t.Fatal(err)
+	}
+	// Same template, different constant, shuffled + renamed.
+	iso := `SELECT * WHERE { ?p <http://age> ?n . <http://bob> <http://knows> ?p . }`
+	got, err := sys.Run(context.Background(), iso, TDAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cache.Hit {
+		t.Fatal("isomorphic query missed the cache")
+	}
+	if got.Cache.EnumeratedJoins != 0 {
+		t.Fatalf("cache hit enumerated %d joins, want 0", got.Cache.EnumeratedJoins)
+	}
+	q, err := ParseQuery(iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("test query returns no rows; constants don't exercise the remap")
+	}
+	sameRows(t, "isomorphic constants", got, want)
+}
+
+// TestPlanCacheDisabledByDefault: without WithPlanCache the serving
+// path is unchanged and reports zero counters.
+func TestPlanCacheDisabledByDefault(t *testing.T) {
+	sys, err := Open(cacheDataset(), WithNodes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(context.Background(), cacheQueries[1], TDAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Enabled || res.Cache.Hit {
+		t.Fatalf("cache info %+v on an uncached system", res.Cache)
+	}
+	if res.Cache.EnumeratedJoins == 0 {
+		t.Error("uncached run reported zero enumerated joins")
+	}
+	if st := sys.CacheStats(); st != (CacheCounters{}) {
+		t.Errorf("counters %+v on an uncached system", st)
+	}
+}
+
+// TestPlanCacheAllAlgorithms runs each cacheable enumerator through
+// the cached serving path twice and checks hit behavior plus row
+// equality against the reference evaluator.
+func TestPlanCacheAllAlgorithms(t *testing.T) {
+	ds := cacheDataset()
+	sys, err := Open(ds, WithNodes(4), WithPlanCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := cacheQueries[6]
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{TDCMD, TDCMDP, HGRTDCMD, TDAuto} {
+		cold, err := sys.Run(context.Background(), src, algo)
+		if err != nil {
+			t.Fatalf("%v cold: %v", algo, err)
+		}
+		if cold.Cache.Hit {
+			t.Fatalf("%v: cold run hit — algorithms must not share plan slots", algo)
+		}
+		warm, err := sys.Run(context.Background(), src, algo)
+		if err != nil {
+			t.Fatalf("%v warm: %v", algo, err)
+		}
+		if !warm.Cache.Hit {
+			t.Fatalf("%v: warm run missed", algo)
+		}
+		sameRows(t, fmt.Sprintf("%v cold", algo), cold, want)
+		sameRows(t, fmt.Sprintf("%v warm", algo), warm, want)
+	}
+	// One stats snapshot serves all four algorithms.
+	if st := sys.CacheStats(); st.StatsMisses != 1 {
+		t.Errorf("%d stats collections for one fingerprint, want 1", st.StatsMisses)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/plan"
+	"sparqlopt/internal/plancache"
 	"sparqlopt/internal/querygraph"
 	"sparqlopt/internal/rdf"
 	"sparqlopt/internal/sparql"
@@ -61,6 +62,11 @@ type (
 	OptimizeResult = opt.Result
 	// ExecResult carries distinct result rows plus execution metrics.
 	ExecResult = engine.Result
+	// CacheInfo describes plan-cache behavior of one Run (on ExecResult).
+	CacheInfo = engine.CacheInfo
+	// CacheCounters is a snapshot of the plan cache's cumulative
+	// hit/miss/evict/singleflight counters.
+	CacheCounters = plancache.Counters
 )
 
 // The optimization algorithms of the paper.
@@ -106,6 +112,7 @@ type System struct {
 	parallelism int
 	placement   *partition.Placement
 	engine      *engine.Engine
+	cache       *plancache.Cache // nil = caching disabled
 }
 
 // Option configures Open.
@@ -117,6 +124,7 @@ type openConfig struct {
 	nodes       int
 	sampleRate  float64
 	parallelism int
+	planCache   int
 }
 
 // WithMethod selects the data partitioning method (default HashSO).
@@ -135,6 +143,19 @@ func WithCostParams(p CostParams) Option { return func(c *openConfig) { c.params
 // sequential paths. Plans, results and metrics are identical at every
 // setting — the knob only changes wall time.
 func WithParallelism(p int) Option { return func(c *openConfig) { c.parallelism = p } }
+
+// WithPlanCache enables the serving-path plan cache with capacity for
+// (at least) n query fingerprints; n <= 0 (the default) disables
+// caching. With the cache enabled, System.Run canonicalizes each
+// query, serves repeats of the same query shape from a cached plan
+// template (skipping statistics collection and plan enumeration
+// entirely), and deduplicates concurrent optimizations of one shape
+// through a singleflight layer. Cached plans are tagged with the
+// dataset epoch and re-optimized after any dataset mutation. Cached
+// and uncached runs return bit-identical rows; a cached plan may be
+// suboptimal for a query whose constants are much more or less
+// selective than those of the run that produced the template.
+func WithPlanCache(n int) Option { return func(c *openConfig) { c.planCache = n } }
 
 // WithSampledStats makes Optimize collect statistics from a
 // systematic sample of the dataset instead of full scans — the
@@ -169,6 +190,7 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		parallelism: cfg.parallelism,
 		placement:   placement,
 		engine:      eng,
+		cache:       plancache.New(cfg.planCache),
 	}, nil
 }
 
@@ -181,8 +203,11 @@ func (s *System) ReplicationFactor() float64 {
 	return s.placement.ReplicationFactor(s.ds.Len())
 }
 
-// Optimize parses (if needed) and optimizes a query with the chosen
-// algorithm, collecting exact statistics from the dataset.
+// Optimize parses and optimizes a query with the chosen algorithm.
+// The query is parsed exactly once and the parsed form is shared with
+// statistics collection and graph-view construction (callers that
+// also execute should prefer Run, or parse once themselves and use
+// OptimizeQuery + Execute, to avoid re-parsing).
 func (s *System) Optimize(ctx context.Context, query string, algo Algorithm) (*OptimizeResult, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
@@ -191,7 +216,10 @@ func (s *System) Optimize(ctx context.Context, query string, algo Algorithm) (*O
 	return s.OptimizeQuery(ctx, q, algo)
 }
 
-// OptimizeQuery optimizes an already-parsed query.
+// OptimizeQuery optimizes an already-parsed query. When the plan
+// cache is enabled, statistics snapshots are reused across queries of
+// the same fingerprint and epoch (the full plan cache applies only to
+// Run, the serving path).
 func (s *System) OptimizeQuery(ctx context.Context, q *Query, algo Algorithm) (*OptimizeResult, error) {
 	in, err := s.input(q)
 	if err != nil {
@@ -200,12 +228,34 @@ func (s *System) OptimizeQuery(ctx context.Context, q *Query, algo Algorithm) (*
 	return opt.Optimize(ctx, in, algo)
 }
 
+// collect gathers per-pattern statistics for q, going through the
+// cache's snapshot layer when caching is enabled.
+func (s *System) collect(q *Query) (*stats.Stats, error) {
+	if s.cache == nil {
+		return stats.CollectSampled(s.ds, q, s.sampleRate)
+	}
+	st, _, err := s.cache.StatsFor(q, s.ds.Epoch(), func(q *sparql.Query) (*stats.Stats, error) {
+		return stats.CollectSampled(s.ds, q, s.sampleRate)
+	})
+	return st, err
+}
+
+// input assembles the optimizer input for a parsed query, collecting
+// statistics itself.
 func (s *System) input(q *Query) (*opt.Input, error) {
-	views, err := querygraph.Build(q)
+	st, err := s.collect(q)
 	if err != nil {
 		return nil, err
 	}
-	st, err := stats.CollectSampled(s.ds, q, s.sampleRate)
+	return s.inputWithStats(q, st)
+}
+
+// inputWithStats assembles the optimizer input around an existing
+// statistics snapshot — the single construction point both the cached
+// and uncached serving paths funnel through, so a query is parsed and
+// its views are built exactly once per Run.
+func (s *System) inputWithStats(q *Query, st *stats.Stats) (*opt.Input, error) {
+	views, err := querygraph.Build(q)
 	if err != nil {
 		return nil, err
 	}
@@ -221,17 +271,66 @@ func (s *System) Execute(ctx context.Context, p *Plan, q *Query) (*ExecResult, e
 	return s.engine.Execute(ctx, p, q)
 }
 
-// Run optimizes and executes in one step.
+// Run optimizes and executes in one step — the serving path. The
+// query text is parsed exactly once; the parsed form feeds
+// canonicalization, optimization and execution. With WithPlanCache,
+// repeats of a query shape skip statistics collection and plan
+// enumeration entirely (ExecResult.Cache reports what happened).
 func (s *System) Run(ctx context.Context, query string, algo Algorithm) (*ExecResult, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.OptimizeQuery(ctx, q, algo)
+	return s.RunQuery(ctx, q, algo)
+}
+
+// RunQuery optimizes and executes an already-parsed query.
+func (s *System) RunQuery(ctx context.Context, q *Query, algo Algorithm) (*ExecResult, error) {
+	if s.cache == nil {
+		res, err := s.OptimizeQuery(ctx, q, algo)
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.engine.Execute(ctx, res.Plan, q)
+		if err != nil {
+			return nil, err
+		}
+		out.Cache = engine.CacheInfo{EnumeratedJoins: res.Counter.CMDs}
+		return out, nil
+	}
+	epoch := s.ds.Epoch()
+	res, info, err := s.cache.Optimize(ctx, q, algo, epoch,
+		func(q *sparql.Query) (*stats.Stats, error) {
+			return stats.CollectSampled(s.ds, q, s.sampleRate)
+		},
+		func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error) {
+			in, err := s.inputWithStats(q, st)
+			if err != nil {
+				return nil, err
+			}
+			return opt.Optimize(ctx, in, algo)
+		})
 	if err != nil {
 		return nil, err
 	}
-	return s.engine.Execute(ctx, res.Plan, q)
+	out, err := s.engine.Execute(ctx, res.Plan, q)
+	if err != nil {
+		return nil, err
+	}
+	out.Cache = engine.CacheInfo{Enabled: true, Hit: info.Hit, Shared: info.Shared, Epoch: info.Epoch}
+	if !info.Hit {
+		out.Cache.EnumeratedJoins = res.Counter.CMDs
+	}
+	return out, nil
+}
+
+// CacheStats returns the plan cache's cumulative counters; the zero
+// snapshot when caching is disabled.
+func (s *System) CacheStats() CacheCounters {
+	if s.cache == nil {
+		return CacheCounters{}
+	}
+	return s.cache.Counters()
 }
 
 // Term resolves a result value back to its term string.
