@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race determinism bench bench-smoke fuzz-smoke check
+.PHONY: all vet build test race determinism obs bench bench-smoke fuzz-smoke check
 
 all: check
 
@@ -31,6 +31,15 @@ race:
 determinism:
 	$(GO) test -run TestDeterminism -race -count=2 ./internal/opt/... ./internal/engine/...
 
+# The observability layer's own gate: vet plus a doubled, race-
+# instrumented run of the registry/trace/slow-log suites and the
+# serving-path trace tests — the lock-striped registry and the
+# concurrent slow-query ring are the most schedule-sensitive new code.
+obs:
+	$(GO) vet ./internal/obs
+	$(GO) test -race -count=2 ./internal/obs
+	$(GO) test -race -run 'TestObservability|TestTraceTree|TestCancellationReportsPhase|TestPositionalAlgorithm' .
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -46,4 +55,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/sparql
 	$(GO) test -run='^$$' -fuzz='^FuzzCanonicalize$$' -fuzztime=5s ./internal/querygraph
 
-check: vet build race determinism bench-smoke fuzz-smoke
+check: vet build race determinism obs bench-smoke fuzz-smoke

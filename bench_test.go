@@ -5,7 +5,7 @@
 // scale with printed output. Micro-benchmarks at the bottom measure
 // the enumeration core itself (the paper's Θ(|V_T|) amortized-cost
 // claim).
-package sparqlopt
+package sparqlopt_test
 
 import (
 	"context"
@@ -15,16 +15,31 @@ import (
 	"testing"
 	"time"
 
+	"sparqlopt"
 	"sparqlopt/internal/bench"
 	"sparqlopt/internal/bitset"
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/querygraph"
 	"sparqlopt/internal/race"
+	"sparqlopt/internal/sparql"
+	"sparqlopt/internal/stats"
 	"sparqlopt/internal/workload/lubm"
 	"sparqlopt/internal/workload/randquery"
 	"sparqlopt/internal/workload/watdiv"
 )
+
+// mustEstimator mirrors the in-package test helper; this file lives in
+// the external test package so internal/bench (which imports the root
+// package) stays importable without a cycle.
+func mustEstimator(tb testing.TB, q *sparql.Query, s *stats.Stats) *stats.Estimator {
+	tb.Helper()
+	est, err := stats.NewEstimator(q, s)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return est
+}
 
 func quickBenchConfig() bench.Config {
 	return bench.Config{Out: io.Discard, Quick: true, Timeout: 2 * time.Second, Nodes: 4, Seed: 1}
@@ -134,7 +149,7 @@ func BenchmarkOptimizeParallel(b *testing.B) {
 		for _, p := range parallelisms {
 			b.Run(fmt.Sprintf("%s/P=%d", sh.name, p), func(b *testing.B) {
 				in := &opt.Input{Query: q, Views: views, Est: est,
-					Params: DefaultCostParams(), Method: partition.HashSO{}, Parallelism: p}
+					Params: sparqlopt.DefaultCostParams(), Method: partition.HashSO{}, Parallelism: p}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -202,7 +217,7 @@ func BenchmarkOptimizeTDCMD(b *testing.B) {
 				b.Fatal(err)
 			}
 			est := mustEstimator(b, q, s)
-			in := &opt.Input{Query: q, Views: views, Est: est, Params: DefaultCostParams(), Method: partition.HashSO{}}
+			in := &opt.Input{Query: q, Views: views, Est: est, Params: sparqlopt.DefaultCostParams(), Method: partition.HashSO{}}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := opt.Optimize(context.Background(), in, algo); err != nil {
@@ -235,10 +250,10 @@ func BenchmarkLocalCheck(b *testing.B) {
 func BenchmarkExecute(b *testing.B) {
 	type workload struct {
 		tag string
-		ds  *Dataset
+		ds  *sparqlopt.Dataset
 		qs  []struct {
 			name string
-			q    *Query
+			q    *sparqlopt.Query
 		}
 	}
 	var loads []workload
@@ -247,7 +262,7 @@ func BenchmarkExecute(b *testing.B) {
 	for _, name := range lubm.QueryNames {
 		wl.qs = append(wl.qs, struct {
 			name string
-			q    *Query
+			q    *sparqlopt.Query
 		}{name, lubm.Query(name)})
 	}
 	loads = append(loads, wl)
@@ -264,7 +279,7 @@ func BenchmarkExecute(b *testing.B) {
 		}
 		ww.qs = append(ww.qs, struct {
 			name string
-			q    *Query
+			q    *sparqlopt.Query
 		}{fmt.Sprintf("W%d", t.ID), q})
 		if len(ww.qs) == 3 {
 			break
@@ -277,12 +292,12 @@ func BenchmarkExecute(b *testing.B) {
 	}
 	for _, p := range sweep {
 		for _, wl := range loads {
-			sys, err := Open(wl.ds, WithNodes(4), WithParallelism(p))
+			sys, err := sparqlopt.Open(wl.ds, sparqlopt.WithNodes(4), sparqlopt.WithParallelism(p))
 			if err != nil {
 				b.Fatal(err)
 			}
 			for _, bq := range wl.qs {
-				res, err := sys.OptimizeQuery(context.Background(), bq.q, TDAuto)
+				res, err := sys.OptimizeQuery(context.Background(), bq.q, sparqlopt.WithAlgorithm(sparqlopt.TDAuto))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -303,14 +318,14 @@ func BenchmarkExecute(b *testing.B) {
 // the simulated cluster.
 func BenchmarkEndToEnd(b *testing.B) {
 	ds := lubm.Generate(lubm.Config{Universities: 1, Seed: 1, Compact: true})
-	sys, err := Open(ds, WithNodes(4))
+	sys, err := sparqlopt.Open(ds, sparqlopt.WithNodes(4))
 	if err != nil {
 		b.Fatal(err)
 	}
 	q := lubm.QueryText("L2")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Run(context.Background(), q, TDAuto); err != nil {
+		if _, err := sys.Run(context.Background(), q, sparqlopt.WithAlgorithm(sparqlopt.TDAuto)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -324,12 +339,12 @@ func BenchmarkRunCached(b *testing.B) {
 	ds := lubm.Generate(lubm.Config{Universities: 1, Seed: 1, Compact: true})
 	for _, mode := range []struct {
 		name string
-		opts []Option
+		opts []sparqlopt.Option
 	}{
 		{"uncached", nil},
-		{"cached", []Option{WithPlanCache(64)}},
+		{"cached", []sparqlopt.Option{sparqlopt.WithPlanCache(64)}},
 	} {
-		sys, err := Open(ds, append([]Option{WithNodes(4)}, mode.opts...)...)
+		sys, err := sparqlopt.Open(ds, append([]sparqlopt.Option{sparqlopt.WithNodes(4)}, mode.opts...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -337,13 +352,13 @@ func BenchmarkRunCached(b *testing.B) {
 			src := lubm.QueryText(name)
 			// Prime the cache so the cached variant measures the warm
 			// path, not the first miss.
-			if _, err := sys.Run(context.Background(), src, TDAuto); err != nil {
+			if _, err := sys.Run(context.Background(), src, sparqlopt.WithAlgorithm(sparqlopt.TDAuto)); err != nil {
 				b.Fatal(err)
 			}
 			b.Run(fmt.Sprintf("%s/%s", mode.name, name), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.Run(context.Background(), src, TDAuto); err != nil {
+					if _, err := sys.Run(context.Background(), src, sparqlopt.WithAlgorithm(sparqlopt.TDAuto)); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -8,12 +8,14 @@
 //	-experiment  which artifact to regenerate:
 //	             table3 | table4 | table5 | table6 | table7 |
 //	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
-//	             engine | plancache | all
+//	             engine | plancache | obsoverhead | all
 //	             (default all; ablation is this repo's extra study of
 //	             the TD-CMDP pruning rules; engine profiles end-to-end
 //	             execution and writes BENCH_engine.json; plancache
 //	             replays LUBM L1–L10 cold vs warm through the plan
-//	             cache and writes BENCH_plancache.json)
+//	             cache and writes BENCH_plancache.json; obsoverhead
+//	             serves L1–L10 with observability on vs off and writes
+//	             BENCH_obsoverhead.json)
 //	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
 //	             timed-out cells print N/A)
 //	-quick       shrink datasets and instance counts for a fast pass
@@ -26,6 +28,11 @@
 //	             BENCH_engine.json; empty disables the file)
 //	-plancachejson  output path of the plan cache profile (default
 //	             BENCH_plancache.json; empty disables the file)
+//	-obsjson     output path of the observability overhead profile
+//	             (default BENCH_obsoverhead.json; empty disables the file)
+//	-metrics     append a Prometheus metrics snapshot to the output of
+//	             the serving-path experiments (engine, plancache,
+//	             obsoverhead)
 //
 // Examples:
 //
@@ -53,6 +60,8 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory (figures only)")
 		engineJSON = flag.String("enginejson", "BENCH_engine.json", "engine profile output path (empty = no file)")
 		pcJSON     = flag.String("plancachejson", "BENCH_plancache.json", "plan cache profile output path (empty = no file)")
+		obsJSON    = flag.String("obsjson", "BENCH_obsoverhead.json", "observability overhead output path (empty = no file)")
+		metrics    = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
 	)
 	flag.Parse()
 
@@ -64,25 +73,27 @@ func main() {
 		Seed:        *seed,
 		CSVDir:      *csvDir,
 		Parallelism: *parallel,
+		Metrics:     *metrics,
 	}
 
 	experiments := map[string]func(bench.Config) error{
-		"table3":    bench.Table3,
-		"table4":    bench.Table4,
-		"table5":    bench.Table5,
-		"table6":    bench.Table6,
-		"table7":    bench.Table7,
-		"fig6":      bench.Fig6,
-		"fig7":      bench.Fig7,
-		"fig8":      bench.Fig8,
-		"fig7and8":  bench.Fig7And8,
-		"ablation":  bench.Ablation,
-		"costcheck": bench.CostModelCheck,
-		"qerror":    bench.QError,
-		"engine":    func(cfg bench.Config) error { return bench.EngineBench(cfg, *engineJSON) },
-		"plancache": func(cfg bench.Config) error { return bench.PlanCacheBench(cfg, *pcJSON) },
+		"table3":      bench.Table3,
+		"table4":      bench.Table4,
+		"table5":      bench.Table5,
+		"table6":      bench.Table6,
+		"table7":      bench.Table7,
+		"fig6":        bench.Fig6,
+		"fig7":        bench.Fig7,
+		"fig8":        bench.Fig8,
+		"fig7and8":    bench.Fig7And8,
+		"ablation":    bench.Ablation,
+		"costcheck":   bench.CostModelCheck,
+		"qerror":      bench.QError,
+		"engine":      func(cfg bench.Config) error { return bench.EngineBench(cfg, *engineJSON) },
+		"plancache":   func(cfg bench.Config) error { return bench.PlanCacheBench(cfg, *pcJSON) },
+		"obsoverhead": func(cfg bench.Config) error { return bench.ObsOverheadBench(cfg, *obsJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead"}
 
 	run := func(name string) {
 		start := time.Now()

@@ -26,7 +26,16 @@
 //	            -repl mode are then served from cached plan templates
 //	            (identical results, no re-optimization); applies to the
 //	            td-* algorithms, baselines always optimize fresh
+//	-trace      print the query-lifecycle trace tree after each query
+//	-metrics    dump the Prometheus metrics exposition on exit
+//	-slowlog    slow-query threshold; queries at or over it (and all
+//	            failures) are printed from the slow-query log on exit
+//	            (0 = disabled)
 //	-demo       use a generated LUBM dataset and query L8
+//
+// The observability flags (-trace, -metrics, -slowlog) route through
+// the library's serving path and therefore apply to the td-*
+// algorithms; the baseline optimizers run outside it.
 package main
 
 import (
@@ -38,19 +47,18 @@ import (
 	"strings"
 	"time"
 
+	"sparqlopt"
 	"sparqlopt/internal/baseline"
 	"sparqlopt/internal/cost"
 	"sparqlopt/internal/engine"
+	"sparqlopt/internal/ntriples"
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
-	"sparqlopt/internal/plancache"
 	"sparqlopt/internal/querygraph"
 	"sparqlopt/internal/rdf"
 	"sparqlopt/internal/sparql"
 	"sparqlopt/internal/stats"
 	"sparqlopt/internal/workload/lubm"
-
-	"sparqlopt/internal/ntriples"
 )
 
 func main() {
@@ -66,6 +74,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 600*time.Second, "optimization cap")
 		parallel  = flag.Int("parallelism", 0, "optimizer and engine worker goroutines (0 = all cores, 1 = sequential)")
 		planCache = flag.Int("plancache", 0, "serving-path plan cache capacity in query fingerprints (0 = disabled)")
+		trace     = flag.Bool("trace", false, "print the query-lifecycle trace tree after each query")
+		metrics   = flag.Bool("metrics", false, "dump the Prometheus metrics exposition on exit")
+		slowlog   = flag.Duration("slowlog", 0, "slow-query threshold for the slow-query log (0 = disabled)")
 		demo      = flag.Bool("demo", false, "run the built-in LUBM demo")
 		repl      = flag.Bool("repl", false, "interactive mode: read queries from stdin (use with -data or -demo)")
 	)
@@ -75,6 +86,7 @@ func main() {
 		partName: *partName, nodes: *nodes, execute: *execute,
 		explain: *explain, dot: *dot, timeout: *timeout, demo: *demo,
 		repl: *repl, parallelism: *parallel, planCache: *planCache,
+		trace: *trace, metrics: *metrics, slowlog: *slowlog,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
 		os.Exit(1)
@@ -87,13 +99,20 @@ type runConfig struct {
 	parallelism                              int
 	planCache                                int
 	execute, explain, dot, demo, repl        bool
+	trace, metrics                           bool
+	slowlog                                  time.Duration
 	timeout                                  time.Duration
+}
+
+// observing reports whether any observability flag is set.
+func (cfg runConfig) observing() bool {
+	return cfg.trace || cfg.metrics || cfg.slowlog > 0
 }
 
 func run(cfg runConfig) error {
 	dataPath, queryPath := cfg.dataPath, cfg.queryPath
 	algorithm, partName := cfg.algorithm, cfg.partName
-	nodes, execute, timeout, demo := cfg.nodes, cfg.execute, cfg.timeout, cfg.demo
+	demo := cfg.demo
 	var ds *rdf.Dataset
 	var q *sparql.Query
 	switch {
@@ -136,19 +155,133 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
+	algo, served := optAlgo(algorithm)
+	if cfg.observing() && !served {
+		fmt.Fprintf(os.Stderr, "note: -trace/-metrics/-slowlog apply to the td-* algorithms, not %q\n", algorithm)
+	}
 	if cfg.repl {
-		return replLoop(ds, method, nodes, cfg.parallelism, cfg.planCache, algorithm, timeout)
+		return replLoop(cfg, ds, method, algo, served)
 	}
 	fmt.Printf("dataset: %d triples; query: %d triple patterns\n", ds.Len(), len(q.Patterns))
-
 	views, err := querygraph.Build(q)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("query class: %s; join variables: %d; max degree: %d\n",
 		views.Join.Classify(), views.Join.NumJoinVars(), views.Join.MaxVarDegree())
+	if served {
+		return runServed(cfg, ds, method, algo, q)
+	}
+	return runBaseline(cfg, ds, method, q)
+}
 
+// runServed routes one query through the library's serving path, which
+// carries the observability layer (metrics, trace, slow-query log).
+func runServed(cfg runConfig, ds *rdf.Dataset, method partition.Method, algo opt.Algorithm, q *sparql.Query) error {
+	sys, err := openSystem(cfg, ds, method)
+	if err != nil {
+		return err
+	}
+	runOpts, printTrace := callOptions(cfg, algo)
+	ctx := context.Background()
+	start := time.Now()
+	if !cfg.execute {
+		res, err := sys.OptimizeQuery(ctx, q, runOpts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\noptimized in %v: %s\n\nplan:\n%s", time.Since(start).Round(time.Microsecond), res, res.Plan.Format())
+		if cfg.dot {
+			fmt.Printf("\n%s", res.Plan.DOT())
+		}
+		printTrace()
+		return finishObserved(cfg, sys)
+	}
+	fmt.Printf("partitioning with %s onto %d nodes (replication factor %.2f)...\n",
+		method.Name(), cfg.nodes, sys.ReplicationFactor())
+	out, err := sys.RunQuery(ctx, q, runOpts...)
+	if err != nil {
+		printTrace()
+		finishObserved(cfg, sys)
+		return err
+	}
+	fmt.Printf("\n%v: %s\n", time.Since(start).Round(time.Microsecond), out)
+	fmt.Printf("\nplan:\n%s", out.Opt.Plan.Format())
+	if cfg.dot {
+		fmt.Printf("\n%s", out.Opt.Plan.DOT())
+	}
+	if cfg.explain && out.Trace != nil {
+		fmt.Printf("\nexecution trace:\n%s", out.Trace.Format())
+	}
+	printRows(ds, out.Rows, 10)
+	printTrace()
+	return finishObserved(cfg, sys)
+}
+
+// openSystem builds the serving-path System for the td-* algorithms.
+func openSystem(cfg runConfig, ds *rdf.Dataset, method partition.Method) (*sparqlopt.System, error) {
+	opts := []sparqlopt.Option{
+		sparqlopt.WithMethod(method),
+		sparqlopt.WithNodes(cfg.nodes),
+		sparqlopt.WithParallelism(cfg.parallelism),
+	}
+	if cfg.planCache > 0 {
+		opts = append(opts, sparqlopt.WithPlanCache(cfg.planCache))
+	}
+	if cfg.metrics || cfg.slowlog > 0 {
+		var obsOpts []sparqlopt.ObsOption
+		if cfg.slowlog > 0 {
+			obsOpts = append(obsOpts, sparqlopt.WithSlowQueryLog(64, cfg.slowlog))
+		}
+		opts = append(opts, sparqlopt.WithObservability(obsOpts...))
+	}
+	return sparqlopt.Open(ds, opts...)
+}
+
+// callOptions assembles the per-call RunOptions; the returned func
+// prints the trace collected by the most recent call (a no-op without
+// -trace).
+func callOptions(cfg runConfig, algo opt.Algorithm) ([]sparqlopt.RunOption, func()) {
+	runOpts := []sparqlopt.RunOption{
+		sparqlopt.WithAlgorithm(algo),
+		sparqlopt.WithDeadline(cfg.timeout),
+	}
+	var last *sparqlopt.Trace
+	if cfg.trace {
+		runOpts = append(runOpts, sparqlopt.WithTraceSink(func(t *sparqlopt.Trace) { last = t }))
+	}
+	return runOpts, func() {
+		if last != nil {
+			fmt.Printf("\n%s", last.Format())
+			last = nil
+		}
+	}
+}
+
+// finishObserved dumps the exit-time observability artifacts.
+func finishObserved(cfg runConfig, sys *sparqlopt.System) error {
+	if cfg.slowlog > 0 {
+		entries := sys.SlowQueries()
+		fmt.Printf("\nslow-query log (%d entries at/over %v):\n", len(entries), cfg.slowlog)
+		for _, e := range entries {
+			fmt.Println(" ", e)
+		}
+	}
+	if cfg.metrics {
+		fmt.Println("\nmetrics:")
+		return sys.WriteMetrics(os.Stdout)
+	}
+	return nil
+}
+
+// runBaseline optimizes with one of the baseline algorithms (outside
+// the serving path) and optionally executes the plan directly.
+func runBaseline(cfg runConfig, ds *rdf.Dataset, method partition.Method, q *sparql.Query) error {
 	st, err := stats.Collect(ds, q)
+	if err != nil {
+		return err
+	}
+	views, err := querygraph.Build(q)
 	if err != nil {
 		return err
 	}
@@ -157,28 +290,25 @@ func run(cfg runConfig) error {
 		return err
 	}
 	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: cost.Default, Parallelism: cfg.parallelism}
-	in.Params.Nodes = nodes
+	in.Params.Nodes = cfg.nodes
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := optimize(ctx, in, algorithm)
+	res, err := optimize(ctx, in, cfg.algorithm)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\noptimized with %s in %v\n", algorithm, time.Since(start).Round(time.Microsecond))
-	fmt.Printf("search space: %d join operators, %d plans costed, %d subqueries\n",
-		res.Counter.CMDs, res.Counter.Plans, res.Counter.Subqueries)
-	fmt.Printf("estimated plan cost: %.4g\n\nplan:\n%s", res.Plan.Cost, res.Plan.Format())
+	fmt.Printf("\noptimized with %s in %v: %s\n\nplan:\n%s",
+		cfg.algorithm, time.Since(start).Round(time.Microsecond), res, res.Plan.Format())
 	if cfg.dot {
 		fmt.Printf("\n%s", res.Plan.DOT())
 	}
-
-	if !execute {
+	if !cfg.execute {
 		return nil
 	}
-	fmt.Printf("\npartitioning with %s onto %d nodes...\n", method.Name(), nodes)
-	placement, err := method.Partition(ds, nodes)
+	fmt.Printf("\npartitioning with %s onto %d nodes...\n", method.Name(), cfg.nodes)
+	placement, err := method.Partition(ds, cfg.nodes)
 	if err != nil {
 		return err
 	}
@@ -190,18 +320,20 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("executed in %v: %d distinct results (scanned %d, transferred %d, joined %d)\n",
-		time.Since(start).Round(time.Microsecond), len(out.Rows),
-		out.Metrics.ScannedTriples, out.Metrics.TransferredRows, out.Metrics.JoinedRows)
+	fmt.Printf("executed in %v: %s\n", time.Since(start).Round(time.Microsecond), out)
 	if cfg.explain && out.Trace != nil {
 		fmt.Printf("\nexecution trace:\n%s", out.Trace.Format())
 	}
-	limit := len(out.Rows)
-	if limit > 10 {
-		limit = 10
+	printRows(ds, out.Rows, 10)
+	return nil
+}
+
+func printRows(ds *rdf.Dataset, rows [][]rdf.TermID, limit int) {
+	if limit > len(rows) {
+		limit = len(rows)
 	}
 	for i := 0; i < limit; i++ {
-		for j, id := range out.Rows[i] {
+		for j, id := range rows[i] {
 			if j > 0 {
 				fmt.Print("\t")
 			}
@@ -209,22 +341,13 @@ func run(cfg runConfig) error {
 		}
 		fmt.Println()
 	}
-	if len(out.Rows) > limit {
-		fmt.Printf("... (%d more)\n", len(out.Rows)-limit)
+	if len(rows) > limit {
+		fmt.Printf("... (%d more)\n", len(rows)-limit)
 	}
-	return nil
 }
 
 func optimize(ctx context.Context, in *opt.Input, algorithm string) (*opt.Result, error) {
 	switch algorithm {
-	case "td-cmd":
-		return opt.Optimize(ctx, in, opt.TDCMD)
-	case "td-cmdp":
-		return opt.Optimize(ctx, in, opt.TDCMDP)
-	case "hgr-td-cmd":
-		return opt.Optimize(ctx, in, opt.HGRTDCMD)
-	case "td-auto":
-		return opt.Optimize(ctx, in, opt.TDAuto)
 	case "msc":
 		return baseline.MSC(ctx, in)
 	case "dp-bushy":
@@ -232,11 +355,14 @@ func optimize(ctx context.Context, in *opt.Input, algorithm string) (*opt.Result
 	case "binary-dp":
 		return baseline.BinaryDP(ctx, in)
 	}
+	if algo, ok := optAlgo(algorithm); ok {
+		return opt.Optimize(ctx, in, algo)
+	}
 	return nil, fmt.Errorf("unknown algorithm %q", algorithm)
 }
 
 // optAlgo maps a CLI algorithm name to the optimizer's enum; baseline
-// algorithms (msc, dp-bushy, binary-dp) are not cacheable.
+// algorithms (msc, dp-bushy, binary-dp) run outside the serving path.
 func optAlgo(name string) (opt.Algorithm, bool) {
 	switch name {
 	case "td-cmd":
@@ -253,20 +379,34 @@ func optAlgo(name string) (opt.Algorithm, bool) {
 
 // replLoop reads SPARQL queries from stdin (terminated by a line
 // containing just ';'), optimizing and executing each against the
-// partitioned dataset. With planCache > 0 and a td-* algorithm,
-// repeated query shapes are served from cached plan templates.
-func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism, planCache int, algorithm string, timeout time.Duration) error {
-	fmt.Printf("dataset: %d triples; partitioning with %s onto %d nodes...\n", ds.Len(), method.Name(), nodes)
-	placement, err := method.Partition(ds, nodes)
-	if err != nil {
-		return err
-	}
-	e := engine.New(ds.Dict, placement)
-	e.SetParallelism(parallelism)
-	var cache *plancache.Cache
-	if _, cacheable := optAlgo(algorithm); cacheable && planCache > 0 {
-		cache = plancache.New(planCache)
-		fmt.Printf("plan cache: %d fingerprints\n", cache.Capacity())
+// partitioned dataset. The td-* algorithms serve through the library's
+// System (plan cache, metrics, traces, slow-query log); baselines
+// optimize and execute directly.
+func replLoop(cfg runConfig, ds *rdf.Dataset, method partition.Method, algo opt.Algorithm, served bool) error {
+	fmt.Printf("dataset: %d triples; partitioning with %s onto %d nodes...\n", ds.Len(), method.Name(), cfg.nodes)
+	var (
+		sys        *sparqlopt.System
+		runOpts    []sparqlopt.RunOption
+		printTrace func()
+		e          *engine.Engine
+		err        error
+	)
+	if served {
+		sys, err = openSystem(cfg, ds, method)
+		if err != nil {
+			return err
+		}
+		runOpts, printTrace = callOptions(cfg, algo)
+		if cfg.planCache > 0 {
+			fmt.Printf("plan cache: %d fingerprints\n", cfg.planCache)
+		}
+	} else {
+		placement, err := method.Partition(ds, cfg.nodes)
+		if err != nil {
+			return err
+		}
+		e = engine.New(ds.Dict, placement)
+		e.SetParallelism(cfg.parallelism)
 	}
 	fmt.Println("enter a SPARQL query followed by a line containing only ';' (ctrl-D to quit):")
 	sc := bufio.NewScanner(os.Stdin)
@@ -286,70 +426,64 @@ func replLoop(ds *rdf.Dataset, method partition.Method, nodes, parallelism, plan
 			prompt()
 			continue
 		}
-		if err := replOne(ds, e, cache, method, nodes, parallelism, algorithm, timeout, src); err != nil {
+		if served {
+			err = replServed(ds, sys, src, runOpts, printTrace)
+		} else {
+			err = replBaseline(cfg, ds, e, method, src)
+		}
+		if err != nil {
 			fmt.Println("error:", err)
 		}
 		prompt()
 	}
 	fmt.Println()
+	if served {
+		if err := finishObserved(cfg, sys); err != nil {
+			return err
+		}
+	}
 	return sc.Err()
 }
 
-func replOne(ds *rdf.Dataset, e *engine.Engine, cache *plancache.Cache, method partition.Method, nodes, parallelism int, algorithm string, timeout time.Duration, src string) error {
+func replServed(ds *rdf.Dataset, sys *sparqlopt.System, src string, runOpts []sparqlopt.RunOption, printTrace func()) error {
+	start := time.Now()
+	out, err := sys.Run(context.Background(), src, runOpts...)
+	if err != nil {
+		printTrace()
+		return err
+	}
+	fmt.Printf("%v: %s (%s)\n", time.Since(start).Round(time.Microsecond), out, out.Opt)
+	printRows(ds, out.Rows, 20)
+	printTrace()
+	return nil
+}
+
+func replBaseline(cfg runConfig, ds *rdf.Dataset, e *engine.Engine, method partition.Method, src string) error {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
 	}
-	params := cost.Default
-	params.Nodes = nodes
-	buildInput := func(q *sparql.Query, st *stats.Stats) (*opt.Input, error) {
-		views, err := querygraph.Build(q)
-		if err != nil {
-			return nil, err
-		}
-		est, err := stats.NewEstimator(q, st)
-		if err != nil {
-			return nil, err
-		}
-		return &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: params, Parallelism: parallelism}, nil
+	st, err := stats.Collect(ds, q)
+	if err != nil {
+		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	views, err := querygraph.Build(q)
+	if err != nil {
+		return err
+	}
+	est, err := stats.NewEstimator(q, st)
+	if err != nil {
+		return err
+	}
+	params := cost.Default
+	params.Nodes = cfg.nodes
+	in := &opt.Input{Query: q, Views: views, Est: est, Method: method, Params: params, Parallelism: cfg.parallelism}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
 	start := time.Now()
-	var res *opt.Result
-	cacheNote := ""
-	if algo, ok := optAlgo(algorithm); ok && cache != nil {
-		served, info, err := cache.Optimize(ctx, q, algo, ds.Epoch(),
-			func(q *sparql.Query) (*stats.Stats, error) { return stats.Collect(ds, q) },
-			func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error) {
-				in, err := buildInput(q, st)
-				if err != nil {
-					return nil, err
-				}
-				return opt.Optimize(ctx, in, algo)
-			})
-		if err != nil {
-			return err
-		}
-		res = served
-		if info.Hit {
-			cacheNote = ", plan cache hit"
-		} else {
-			cacheNote = ", plan cached"
-		}
-	} else {
-		st, err := stats.Collect(ds, q)
-		if err != nil {
-			return err
-		}
-		in, err := buildInput(q, st)
-		if err != nil {
-			return err
-		}
-		res, err = optimize(ctx, in, algorithm)
-		if err != nil {
-			return err
-		}
+	res, err := optimize(ctx, in, cfg.algorithm)
+	if err != nil {
+		return err
 	}
 	optDur := time.Since(start)
 	start = time.Now()
@@ -357,24 +491,8 @@ func replOne(ds *rdf.Dataset, e *engine.Engine, cache *plancache.Cache, method p
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d results in %v (optimized in %v%s, cost %.4g, %d rows moved)\n",
-		len(out.Rows), time.Since(start).Round(time.Microsecond),
-		optDur.Round(time.Microsecond), cacheNote, res.Plan.Cost, out.Metrics.TransferredRows)
-	limit := len(out.Rows)
-	if limit > 20 {
-		limit = 20
-	}
-	for i := 0; i < limit; i++ {
-		for j, id := range out.Rows[i] {
-			if j > 0 {
-				fmt.Print("\t")
-			}
-			fmt.Print(ds.Dict.Term(id))
-		}
-		fmt.Println()
-	}
-	if len(out.Rows) > limit {
-		fmt.Printf("... (%d more)\n", len(out.Rows)-limit)
-	}
+	fmt.Printf("%v: %s (optimized in %v: %s)\n",
+		time.Since(start).Round(time.Microsecond), out, optDur.Round(time.Microsecond), res)
+	printRows(ds, out.Rows, 20)
 	return nil
 }

@@ -21,7 +21,7 @@ func ExampleOpen() {
 	}
 	res, err := sys.Run(context.Background(),
 		`SELECT ?a ?c WHERE { ?a <http://ex/knows> ?b . ?b <http://ex/knows> ?c . }`,
-		sparqlopt.TDAuto)
+		sparqlopt.WithAlgorithm(sparqlopt.TDAuto))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func ExamplePartitionMethod() {
 	}
 	res, err := sys.Run(context.Background(),
 		`SELECT * WHERE { ?a <http://ex/edge> ?b . ?b <http://ex/edge> ?c . }`,
-		sparqlopt.TDAuto)
+		sparqlopt.WithAlgorithm(sparqlopt.TDAuto))
 	if err != nil {
 		log.Fatal(err)
 	}

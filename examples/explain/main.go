@@ -31,7 +31,7 @@ func main() {
 	for _, algo := range []sparqlopt.Algorithm{
 		sparqlopt.TDCMD, sparqlopt.TDCMDP, sparqlopt.HGRTDCMD, sparqlopt.TDAuto,
 	} {
-		res, err := sys.OptimizeQuery(context.Background(), q, algo)
+		res, err := sys.OptimizeQuery(context.Background(), q, sparqlopt.WithAlgorithm(algo))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -39,7 +39,7 @@ func main() {
 			algo, res.Plan.Cost, res.Counter.CMDs, res.Counter.Plans)
 	}
 
-	best, err := sys.OptimizeQuery(context.Background(), q, sparqlopt.TDAuto)
+	best, err := sys.OptimizeQuery(context.Background(), q, sparqlopt.WithAlgorithm(sparqlopt.TDAuto))
 	if err != nil {
 		log.Fatal(err)
 	}

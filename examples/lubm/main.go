@@ -40,7 +40,7 @@ func main() {
 		for _, name := range lubm.QueryNames {
 			q := lubm.Query(name)
 			start := time.Now()
-			res, err := sys.OptimizeQuery(context.Background(), q, sparqlopt.TDAuto)
+			res, err := sys.OptimizeQuery(context.Background(), q, sparqlopt.WithAlgorithm(sparqlopt.TDAuto))
 			if err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}

@@ -43,7 +43,7 @@ func main() {
 		?b <http://ex/worksFor> ?o .
 		?o <http://ex/inCity> ?city .
 	}`
-	res, err := sys.Optimize(context.Background(), query, sparqlopt.TDAuto)
+	res, err := sys.Optimize(context.Background(), query, sparqlopt.WithAlgorithm(sparqlopt.TDAuto))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func TestBenchmarkQueriesDistributedVsReference(t *testing.T) {
 					t.Fatalf("%s: %v", name, err)
 				}
 				for _, algo := range []Algorithm{TDAuto, TDCMDP} {
-					res, err := sys.OptimizeQuery(context.Background(), q, algo)
+					res, err := sys.OptimizeQuery(context.Background(), q, WithAlgorithm(algo))
 					if err != nil {
 						t.Fatalf("%s/%s/%v: optimize: %v", methodName, name, algo, err)
 					}
@@ -90,7 +90,7 @@ func TestPathPartitioningMakesBenchmarksLocal(t *testing.T) {
 	}
 	for _, name := range lubm.QueryNames {
 		q := lubm.Query(name)
-		res, err := sys.OptimizeQuery(context.Background(), q, TDAuto)
+		res, err := sys.OptimizeQuery(context.Background(), q, WithAlgorithm(TDAuto))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

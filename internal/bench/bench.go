@@ -53,6 +53,9 @@ type Config struct {
 	// cost and execute to identical results and metrics, so it only
 	// changes wall time, never table contents.
 	Parallelism int
+	// Metrics makes the serving-path experiments (engine, plancache,
+	// obsoverhead) append a Prometheus metrics snapshot to Out.
+	Metrics bool
 }
 
 // csvFile opens a CSV output file, or returns nil when CSVDir is

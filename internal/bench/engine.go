@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sparqlopt/internal/engine"
+	"sparqlopt/internal/obs"
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/querygraph"
 	"sparqlopt/internal/rdf"
@@ -85,6 +86,10 @@ func EngineBench(cfg Config, jsonPath string) error {
 	queries = append(queries, wq...)
 
 	// One engine per dataset; the parallelism sweep reuses it.
+	var registry *obs.Registry
+	if cfg.Metrics {
+		registry = obs.NewRegistry()
+	}
 	engines := map[*rdf.Dataset]*engine.Engine{}
 	for _, bq := range queries {
 		if engines[bq.ds] != nil {
@@ -94,7 +99,9 @@ func EngineBench(cfg Config, jsonPath string) error {
 		if err != nil {
 			return err
 		}
-		engines[bq.ds] = engine.New(bq.ds.Dict, placement)
+		e := engine.New(bq.ds.Dict, placement)
+		e.SetInstruments(engine.NewInstruments(registry))
+		engines[bq.ds] = e
 	}
 
 	report := engineReport{Quick: cfg.Quick, Nodes: cfg.nodes(), Seed: cfg.seed()}
@@ -129,6 +136,12 @@ func EngineBench(cfg Config, jsonPath string) error {
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+	if registry != nil {
+		fmt.Fprintln(cfg.out(), "\nmetrics snapshot:")
+		if err := registry.WriteMetrics(cfg.out()); err != nil {
+			return err
+		}
 	}
 	if jsonPath == "" {
 		return nil

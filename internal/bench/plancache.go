@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sparqlopt/internal/engine"
+	"sparqlopt/internal/obs"
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/plancache"
@@ -71,6 +72,12 @@ func PlanCacheBench(cfg Config, jsonPath string) error {
 
 	capacity := 256
 	cache := plancache.New(capacity)
+	var registry *obs.Registry
+	if cfg.Metrics {
+		registry = obs.NewRegistry()
+		cache.RegisterMetrics(registry)
+		eng.SetInstruments(engine.NewInstruments(registry))
+	}
 	collect := func(q *sparql.Query) (*stats.Stats, error) { return stats.Collect(ds, q) }
 	var optCalls atomic.Int64
 	optimize := func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error) {
@@ -123,6 +130,12 @@ func PlanCacheBench(cfg Config, jsonPath string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if registry != nil {
+		fmt.Fprintln(cfg.out(), "\nmetrics snapshot:")
+		if err := registry.WriteMetrics(cfg.out()); err != nil {
+			return err
+		}
+	}
 	if jsonPath == "" {
 		return nil
 	}
@@ -162,7 +175,7 @@ func planCacheOne(cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rd
 
 	// Cold: first pass through the cache (miss).
 	start := time.Now()
-	res, info, err := cache.Optimize(ctx, q, opt.TDAuto, epoch, collect, optimize)
+	res, info, err := cache.Optimize(ctx, q, opt.TDAuto, epoch, collect, optimize, nil)
 	rec.ColdPlanSeconds = time.Since(start).Seconds()
 	if err != nil {
 		return rec, err
@@ -190,7 +203,7 @@ func planCacheOne(cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rd
 		if err != nil {
 			return rec, err
 		}
-		res, info, err := cache.Optimize(ctx, wq, opt.TDAuto, epoch, collect, optimize)
+		res, info, err := cache.Optimize(ctx, wq, opt.TDAuto, epoch, collect, optimize, nil)
 		if err != nil {
 			return rec, err
 		}

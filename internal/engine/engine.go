@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sparqlopt/internal/obs"
+	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/rdf"
@@ -22,6 +25,10 @@ type Metrics struct {
 	// (row, receiving node) pair of broadcast gathers/replications and
 	// every repartitioned row landing on a different node.
 	TransferredRows int64
+	// TransferredBytes is the wire volume of TransferredRows: each
+	// moved row costs its width times the TermID size (4 bytes). Like
+	// every Metrics field it is schedule-invariant.
+	TransferredBytes int64
 	// JoinedRows counts rows produced by all join operators.
 	JoinedRows int64
 }
@@ -31,8 +38,12 @@ type Metrics struct {
 func (m *Metrics) add(o Metrics) {
 	m.ScannedTriples += o.ScannedTriples
 	m.TransferredRows += o.TransferredRows
+	m.TransferredBytes += o.TransferredBytes
 	m.JoinedRows += o.JoinedRows
 }
+
+// termIDBytes is the wire size of one bound term (TermID is a uint32).
+const termIDBytes = 4
 
 // CacheInfo reports how the serving-path plan cache treated the Run
 // that produced a Result. The zero value means the run did not go
@@ -49,10 +60,6 @@ type CacheInfo struct {
 	Shared bool
 	// Epoch is the dataset epoch the served plan was derived under.
 	Epoch uint64
-	// EnumeratedJoins is the number of join operators this run's own
-	// optimization enumerated — 0 on a cache hit, the optimizer's
-	// CMD counter on a miss.
-	EnumeratedJoins int64
 }
 
 // Result is the outcome of a query execution.
@@ -66,9 +73,47 @@ type Result struct {
 	// Trace is the per-operator execution profile (EXPLAIN ANALYZE),
 	// mirroring the plan tree.
 	Trace *TraceNode
-	// Cache describes plan-cache behavior when the result came from a
-	// cached serving path (System.Run with WithPlanCache).
-	Cache CacheInfo
+	// Opt is the optimization outcome behind the executed plan — the
+	// plan itself, search-space counters and the concrete algorithm
+	// used. It is nil when the caller executed a hand-built plan; on a
+	// plan-cache hit it is the result of the optimization that produced
+	// the cached template.
+	Opt *opt.Result
+	// CacheInfo describes plan-cache behavior when the result came from
+	// a cached serving path (System.Run with WithPlanCache).
+	CacheInfo CacheInfo
+}
+
+// EnumeratedJoins is the number of join operators this run's own
+// optimization enumerated — 0 on a plan-cache hit (no enumeration
+// happened), the optimizer's CMD counter otherwise.
+func (r *Result) EnumeratedJoins() int64 {
+	if r.Opt == nil || r.CacheInfo.Hit {
+		return 0
+	}
+	return r.Opt.Counter.CMDs
+}
+
+// String summarizes the execution on one line.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d rows", len(r.Rows))
+	if r.Opt != nil {
+		fmt.Fprintf(&b, " [%s cost=%.4g]", r.Opt.Used, r.Opt.Plan.Cost)
+	}
+	fmt.Fprintf(&b, " scanned=%d shuffled=%d rows/%d B joined=%d",
+		r.Metrics.ScannedTriples, r.Metrics.TransferredRows, r.Metrics.TransferredBytes, r.Metrics.JoinedRows)
+	if r.CacheInfo.Enabled {
+		state := "miss"
+		if r.CacheInfo.Hit {
+			state = "hit"
+		}
+		if r.CacheInfo.Shared {
+			state += "+shared"
+		}
+		fmt.Fprintf(&b, " cache=%s", state)
+	}
+	return b.String()
 }
 
 // Engine executes plans over a partitioned dataset, one goroutine per
@@ -81,6 +126,8 @@ type Engine struct {
 	// child evaluation, otherwise it holds parallelism-1 slots (the
 	// submitting goroutine is the extra worker).
 	sem chan struct{}
+	// inst is the optional metrics bundle; nil disables recording.
+	inst *Instruments
 }
 
 // New builds an engine over the placement produced by a partitioning
@@ -115,11 +162,19 @@ func (e *Engine) SetParallelism(p int) {
 // Nodes returns the cluster size.
 func (e *Engine) Nodes() int { return len(e.stores) }
 
+// SetInstruments wires (or, with nil, unwires) the engine's metrics.
+// It must not be called concurrently with Execute.
+func (e *Engine) SetInstruments(inst *Instruments) { e.inst = inst }
+
 // Execute runs the plan for q and returns the distinct results
 // projected onto q's SELECT variables (all variables when SELECT *).
 func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
+	}
+	var execStart time.Time
+	if e.inst != nil {
+		execStart = time.Now()
 	}
 	var m Metrics
 	parts, trace, err := e.eval(ctx, p, q, &m)
@@ -139,6 +194,9 @@ func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*R
 	}
 	out.Metrics = m
 	out.Trace = trace
+	if e.inst != nil {
+		e.inst.recordExecute(time.Since(execStart), len(out.Rows), m)
+	}
 	return out, nil
 }
 
@@ -159,7 +217,7 @@ func projectResult(rel *Relation, q *sparql.Query) (*Result, error) {
 // eval executes p and returns one relation per node (the distributed
 // intermediate result of paper §II-D) plus the operator's trace.
 func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics) ([]*Relation, *TraceNode, error) {
-	if err := ctx.Err(); err != nil {
+	if err := obs.Canceled(ctx, "execute"); err != nil {
 		return nil, nil, err
 	}
 	var out []*Relation
@@ -183,6 +241,9 @@ func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, m *Met
 	}
 	tr.Elapsed = time.Since(start)
 	tr.record(out)
+	if e.inst != nil {
+		e.inst.recordOp(p.Alg, tr.Elapsed, tr.OutputRows)
+	}
 	return out, tr, nil
 }
 
@@ -201,6 +262,7 @@ func (e *Engine) forEachBounded(n int, f func(i int)) {
 	for i := 0; i < n; i++ {
 		select {
 		case e.sem <- struct{}{}:
+			e.inst.parallelTask()
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -208,6 +270,7 @@ func (e *Engine) forEachBounded(n int, f func(i int)) {
 				f(i)
 			}(i)
 		default:
+			e.inst.inlineTask()
 			f(i)
 		}
 	}
@@ -360,8 +423,11 @@ func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Quer
 	})
 	small := make([]*Relation, 0, len(children)-1)
 	for _, i := range order {
+		bytes := moved[i] * termIDBytes * int64(len(gathered[i].Vars))
 		m.TransferredRows += moved[i]
+		m.TransferredBytes += bytes
 		tr.TransferredRows += moved[i]
+		tr.TransferredBytes += bytes
 		small = append(small, gathered[i])
 	}
 	out := make([]*Relation, len(e.stores))
@@ -417,8 +483,11 @@ func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Qu
 		}
 	}
 	for i := range children {
+		bytes := moved[i] * termIDBytes * int64(len(children[i][0].Vars))
 		m.TransferredRows += moved[i]
+		m.TransferredBytes += bytes
 		tr.TransferredRows += moved[i]
+		tr.TransferredBytes += bytes
 	}
 	out := make([]*Relation, n)
 	var joined int64
@@ -462,7 +531,7 @@ func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int) ([]*Re
 	for src, f := range frags {
 		for _, row := range f.Rows {
 			if ops++; ops&(cancelEvery-1) == 0 {
-				if err := ctx.Err(); err != nil {
+				if err := obs.Canceled(ctx, "shuffle"); err != nil {
 					return nil, 0, err
 				}
 			}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"time"
+
+	"sparqlopt/internal/obs"
+	"sparqlopt/internal/plan"
+)
+
+// opName is the ASCII metric/span name of a plan operator (the plan
+// package's String() uses the paper's ⋈ notation, which makes poor
+// metric label values).
+func opName(a plan.Algorithm) string {
+	switch a {
+	case plan.Scan:
+		return "scan"
+	case plan.LocalJoin:
+		return "local_join"
+	case plan.BroadcastJoin:
+		return "broadcast_join"
+	default:
+		return "repartition_join"
+	}
+}
+
+// Instruments is the engine's metrics bundle. A nil *Instruments
+// disables recording: the engine's hot paths guard every record call
+// behind one nil check, and the recording methods themselves are
+// nil-receiver safe.
+type Instruments struct {
+	// Executes / ExecuteSeconds count and time whole plan executions.
+	Executes       *obs.Counter
+	ExecuteSeconds *obs.Histogram
+	// ResultRows counts distinct result rows returned to callers.
+	ResultRows *obs.Counter
+	// ScannedTriples/TransferredRows/TransferredBytes/JoinedRows
+	// accumulate the per-run Metrics across executions.
+	ScannedTriples   *obs.Counter
+	TransferredRows  *obs.Counter
+	TransferredBytes *obs.Counter
+	JoinedRows       *obs.Counter
+	// ParallelTasks/InlineTasks split how subtree tasks actually ran —
+	// on a borrowed semaphore slot vs. inline on the submitting
+	// goroutine — the engine's parallelism-utilization signal.
+	ParallelTasks *obs.Counter
+	InlineTasks   *obs.Counter
+
+	opRuns    [4]*obs.Counter
+	opSeconds [4]*obs.Histogram
+	opRows    [4]*obs.Counter
+}
+
+// NewInstruments registers the engine's metrics on r and returns the
+// bundle. A nil registry returns nil (instrumentation disabled).
+func NewInstruments(r *obs.Registry) *Instruments {
+	if r == nil {
+		return nil
+	}
+	inst := &Instruments{
+		Executes:         r.Counter("engine_executes_total", "Plan executions."),
+		ExecuteSeconds:   r.Histogram("engine_execute_seconds", "Plan execution latency.", nil),
+		ResultRows:       r.Counter("engine_result_rows_total", "Distinct result rows returned."),
+		ScannedTriples:   r.Counter("engine_scanned_triples_total", "Index postings touched by leaf scans."),
+		TransferredRows:  r.Counter("engine_transferred_rows_total", "Rows moved across node boundaries."),
+		TransferredBytes: r.Counter("engine_transferred_bytes_total", "Bytes moved across node boundaries."),
+		JoinedRows:       r.Counter("engine_joined_rows_total", "Rows produced by join operators."),
+		ParallelTasks:    r.Counter("engine_parallel_tasks_total", "Subtree tasks run on a parallel worker."),
+		InlineTasks:      r.Counter("engine_inline_tasks_total", "Subtree tasks run inline (semaphore saturated)."),
+	}
+	for a := plan.Scan; a <= plan.RepartitionJoin; a++ {
+		lbl := obs.Label{Key: "operator", Value: opName(a)}
+		inst.opRuns[a] = r.Counter("engine_operator_runs_total", "Operator evaluations by type.", lbl)
+		inst.opSeconds[a] = r.Histogram("engine_operator_seconds", "Operator own-time by type.", nil, lbl)
+		inst.opRows[a] = r.Counter("engine_operator_rows_total", "Rows produced by operator type.", lbl)
+	}
+	return inst
+}
+
+// recordOp folds one operator evaluation into the per-operator series.
+func (i *Instruments) recordOp(a plan.Algorithm, d time.Duration, rows int64) {
+	if i == nil {
+		return
+	}
+	if a > plan.RepartitionJoin {
+		return
+	}
+	i.opRuns[a].Inc()
+	i.opSeconds[a].ObserveDuration(d)
+	i.opRows[a].Add(rows)
+}
+
+// recordExecute folds one finished execution into the metrics.
+func (i *Instruments) recordExecute(d time.Duration, rows int, m Metrics) {
+	if i == nil {
+		return
+	}
+	i.Executes.Inc()
+	i.ExecuteSeconds.ObserveDuration(d)
+	i.ResultRows.Add(int64(rows))
+	i.ScannedTriples.Add(m.ScannedTriples)
+	i.TransferredRows.Add(m.TransferredRows)
+	i.TransferredBytes.Add(m.TransferredBytes)
+	i.JoinedRows.Add(m.JoinedRows)
+}
+
+func (i *Instruments) parallelTask() {
+	if i == nil {
+		return
+	}
+	i.ParallelTasks.Inc()
+}
+
+func (i *Instruments) inlineTask() {
+	if i == nil {
+		return
+	}
+	i.InlineTasks.Inc()
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"sort"
 
+	"sparqlopt/internal/obs"
 	"sparqlopt/internal/rdf"
 )
 
@@ -232,7 +233,7 @@ func hashJoin(ctx context.Context, a, b *Relation) (*Relation, error) {
 				out.appendMerged(arow, brow, bExtra)
 			}
 			if ops++; ops&(cancelEvery-1) == 0 {
-				if err := ctx.Err(); err != nil {
+				if err := obs.Canceled(ctx, "join"); err != nil {
 					return nil, err
 				}
 			}
@@ -243,7 +244,7 @@ func hashJoin(ctx context.Context, a, b *Relation) (*Relation, error) {
 	for _, brow := range b.Rows {
 		for _, ai := range index.buckets[hashCols(brow, bCols)] {
 			if ops++; ops&(cancelEvery-1) == 0 {
-				if err := ctx.Err(); err != nil {
+				if err := obs.Canceled(ctx, "join"); err != nil {
 					return nil, err
 				}
 			}
@@ -254,7 +255,7 @@ func hashJoin(ctx context.Context, a, b *Relation) (*Relation, error) {
 			out.appendMerged(arow, brow, bExtra)
 		}
 		if ops++; ops&(cancelEvery-1) == 0 {
-			if err := ctx.Err(); err != nil {
+			if err := obs.Canceled(ctx, "join"); err != nil {
 				return nil, err
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/obs"
 	"sparqlopt/internal/plan"
 )
 
@@ -23,6 +24,8 @@ type TraceNode struct {
 	MaxNodeRows int64
 	// TransferredRows is this operator's own network contribution.
 	TransferredRows int64
+	// TransferredBytes is the wire volume of TransferredRows.
+	TransferredBytes int64
 	// Elapsed is the operator's own wall time, excluding children.
 	// Sibling operators may be evaluated concurrently (the engine's
 	// intra-query parallelism), so sibling Elapsed values can overlap
@@ -64,9 +67,9 @@ func (tr *TraceNode) Format() string {
 			fmt.Fprintf(&b, "%sscan tp%d: rows=%d (est %.4g) max/node=%d time=%v\n",
 				indent, t.TP+1, t.OutputRows, t.EstimatedCard, t.MaxNodeRows, t.Elapsed.Round(time.Microsecond))
 		default:
-			fmt.Fprintf(&b, "%s%s on ?%s: rows=%d (est %.4g) max/node=%d moved=%d time=%v\n",
+			fmt.Fprintf(&b, "%s%s on ?%s: rows=%d (est %.4g) max/node=%d moved=%d (%dB) time=%v\n",
 				indent, t.Alg, t.JoinVar, t.OutputRows, t.EstimatedCard, t.MaxNodeRows,
-				t.TransferredRows, t.Elapsed.Round(time.Microsecond))
+				t.TransferredRows, t.TransferredBytes, t.Elapsed.Round(time.Microsecond))
 		}
 		for _, ch := range t.Children {
 			walk(ch, indent+"  ")
@@ -92,4 +95,31 @@ func (tr *TraceNode) Operators() int {
 		n += ch.Operators()
 	}
 	return n
+}
+
+// AttachSpans mirrors the execution profile under parent as lifecycle
+// spans — one "op:<name>" span per operator, in plan child order,
+// annotated with estimated vs. actual cardinality and shuffle volume.
+// A nil parent (tracing disabled) attaches nothing.
+func (tr *TraceNode) AttachSpans(parent *obs.Span) {
+	if parent == nil || tr == nil {
+		return
+	}
+	s := &obs.Span{Name: "op:" + opName(tr.Alg), Dur: tr.Elapsed}
+	if tr.Alg == plan.Scan {
+		s.SetAttrInt("tp", int64(tr.TP+1))
+	} else {
+		s.SetAttr("join_var", tr.JoinVar)
+	}
+	s.SetAttrFloat("est_rows", tr.EstimatedCard)
+	s.SetAttrInt("rows", tr.OutputRows)
+	s.SetAttrInt("max_node_rows", tr.MaxNodeRows)
+	if tr.Alg == plan.BroadcastJoin || tr.Alg == plan.RepartitionJoin {
+		s.SetAttrInt("shuffled_rows", tr.TransferredRows)
+		s.SetAttrInt("shuffled_bytes", tr.TransferredBytes)
+	}
+	parent.Attach(s)
+	for _, ch := range tr.Children {
+		ch.AttachSpans(s)
+	}
 }

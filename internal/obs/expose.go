@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteMetrics writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// within a family sorted by label string, histogram buckets cumulative
+// with an explicit +Inf bucket plus _sum and _count series. The output
+// is deterministic for a fixed set of metric values, which the golden
+// exposition test relies on.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: nil registry")
+	}
+	var fams []*family
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.fams {
+			fams = append(fams, f)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range ss {
+		var err error
+		switch f.kind {
+		case counterKind:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+		case gaugeKind:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+		case gaugeFuncKind:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gfn()))
+		case histogramKind:
+			err = writeHistogram(w, f.name, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// le labels, then _sum and _count. The le label is appended to the
+// series' own labels.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.hist
+	withLE := func(le string) string {
+		if s.labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return s.labels[:len(s.labels)-1] + `,le="` + le + `"}`
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(formatFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteMetricsGolden pins the full Prometheus text exposition:
+// family and series ordering, HELP/label escaping, optional HELP
+// omission, cumulative histogram buckets and float formatting.
+func TestWriteMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Total requests served.", Label{Key: "algorithm", Value: "TD-CMD"}).Add(3)
+	r.Counter("app_requests_total", "Total requests served.", Label{Key: "algorithm", Value: "TD-CMD-P"}).Inc()
+	r.Counter("app_weird_total", "backslash \\ and\nnewline",
+		Label{Key: "path", Value: "C:\\tmp \"x\"\nend"}).Inc()
+	r.GaugeFunc("cache_entries", "Live cache entries.", func() float64 { return 12.5 })
+	h := r.Histogram("op_seconds", "Operator latency.", []float64{0.125, 0.5, 2.5}, Label{Key: "op", Value: "join"})
+	for _, v := range []float64{0.0625, 0.125, 1, 3} { // exact binary fractions: sum formats exactly
+		h.Observe(v)
+	}
+	r.Histogram("parse_seconds", "", []float64{1}).Observe(0.5)
+	r.Gauge("pool_size", "Worker pool size.").Set(7)
+
+	var out strings.Builder
+	if err := r.WriteMetrics(&out); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+func TestWriteMetricsNilRegistry(t *testing.T) {
+	var r *Registry
+	if err := r.WriteMetrics(&strings.Builder{}); err == nil {
+		t.Error("nil registry must return an error")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryTorture hammers one registry from 64 goroutines across
+// every instrument kind — racing get-or-create with writes and with
+// concurrent expositions — and then checks the totals. Run under
+// -race, this is the registry's thread-safety proof.
+func TestRegistryTorture(t *testing.T) {
+	const (
+		goroutines = 64
+		iters      = 500
+	)
+	r := NewRegistry()
+	var live Gauge // backs the gauge funcs
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := Label{Key: "worker", Value: fmt.Sprintf("w%02d", g%8)}
+			for i := 0; i < iters; i++ {
+				// Re-fetch handles every iteration: get-or-create must be
+				// race-free and always return the same instrument.
+				r.Counter("torture_ops_total", "ops", lbl).Inc()
+				r.Counter("torture_rows_total", "rows").Add(3)
+				r.Gauge("torture_depth", "depth", lbl).Add(1)
+				r.Gauge("torture_depth", "depth", lbl).Add(-1)
+				r.Histogram("torture_latency_seconds", "lat", nil, lbl).Observe(float64(i%7) * 1e-4)
+				r.Histogram("torture_latency_seconds", "lat", nil, lbl).ObserveDuration(time.Microsecond)
+				r.GaugeFunc("torture_live", "live", func() float64 { return float64(live.Value()) }, lbl)
+				if i%64 == 0 {
+					if err := r.WriteMetrics(io.Discard); err != nil {
+						t.Errorf("WriteMetrics: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("torture_rows_total", "rows").Value(); got != int64(goroutines*iters*3) {
+		t.Errorf("rows counter = %d, want %d", got, goroutines*iters*3)
+	}
+	var ops int64
+	for w := 0; w < 8; w++ {
+		lbl := Label{Key: "worker", Value: fmt.Sprintf("w%02d", w)}
+		ops += r.Counter("torture_ops_total", "ops", lbl).Value()
+		if d := r.Gauge("torture_depth", "depth", lbl).Value(); d != 0 {
+			t.Errorf("gauge %v = %d, want 0", lbl, d)
+		}
+		h := r.Histogram("torture_latency_seconds", "lat", nil, lbl)
+		if h.Count() != int64(goroutines/8*iters*2) {
+			t.Errorf("histogram %v count = %d, want %d", lbl, h.Count(), goroutines/8*iters*2)
+		}
+	}
+	if ops != goroutines*iters {
+		t.Errorf("ops counters sum to %d, want %d", ops, goroutines*iters)
+	}
+	var out strings.Builder
+	if err := r.WriteMetrics(&out); err != nil {
+		t.Fatalf("final WriteMetrics: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE torture_ops_total counter",
+		"# TYPE torture_depth gauge",
+		"# TYPE torture_latency_seconds histogram",
+		"# TYPE torture_live gauge",
+		`torture_latency_seconds_bucket{worker="w00",le="+Inf"}`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestNilInstrumentsAreNoops(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 1} // ≤1: {0.5,1}; (1,2]: {1.5,2}; (2,4]: {3,4}; >4: {100}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 112 {
+		t.Errorf("sum = %g, want 112", h.Sum())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (cardinalities, shuffle
+// volumes, cache outcomes). Values are preformatted strings: traces
+// are a human- and test-facing artifact, not a wire format.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one timed step of a query's lifecycle — a serving phase
+// (parse, canonicalize, cache lookup, stats, enumerate, execute) or
+// one plan operator of the execution. Spans form a tree mirroring the
+// work's structure; children appear in the order the phases ran (plan
+// child order for operator spans, never completion order).
+//
+// A span is owned by the goroutine serving the query; it is not safe
+// for concurrent mutation. All methods are nil-receiver safe, so the
+// tracing-disabled path passes nil spans through unconditionally.
+type Span struct {
+	Name string
+	// Start is when the span began; zero for spans reconstructed from
+	// an execution profile (only their duration is known).
+	Start time.Time
+	// Dur is the span's wall time. For phase spans it includes nested
+	// children; for operator spans it is the operator's own time
+	// (children are evaluated before the operator's own work starts).
+	Dur      time.Duration
+	Attrs    []Attr
+	Children []*Span
+}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Attach appends an already-built span subtree (the engine's operator
+// profile) as a child.
+func (s *Span) Attach(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.Children = append(s.Children, c)
+}
+
+// End stamps the span's duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.Start)
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt annotates the span with an integer value.
+func (s *Span) SetAttrInt(key string, v int64) {
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetAttrFloat annotates the span with a float value.
+func (s *Span) SetAttrFloat(key string, v float64) {
+	s.SetAttr(key, strconv.FormatFloat(v, 'g', 4, 64))
+}
+
+// Attr returns the value of the named attribute and whether it is set.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// subtree rooted at s, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Trace is the full lifecycle record of one serving call. Root's
+// direct children are the serving phases in order.
+type Trace struct {
+	// Query is the query source text (or a placeholder when the call
+	// started from a pre-parsed query).
+	Query string
+	// Algorithm is the requested optimization algorithm.
+	Algorithm string
+	Start     time.Time
+	Duration  time.Duration
+	// Err records the failure that ended the run, "" on success.
+	Err  string
+	Root *Span
+}
+
+// NewTrace starts a trace for one serving call.
+func NewTrace(query string) *Trace {
+	now := time.Now()
+	return &Trace{Query: query, Start: now, Root: &Span{Name: "run", Start: now}}
+}
+
+// Span starts a new top-level phase span. Methods on a nil *Trace are
+// no-ops returning nil spans, so the disabled path needs no branches
+// at call sites.
+func (t *Trace) Span(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Root.Child(name)
+}
+
+// Find returns the first span with the given name, or nil.
+func (t *Trace) Find(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Root.Find(name)
+}
+
+// Finish closes the trace, stamping the total duration and the error.
+func (t *Trace) Finish(err error) {
+	if t == nil {
+		return
+	}
+	t.Root.End()
+	t.Duration = t.Root.Dur
+	if err != nil {
+		t.Err = err.Error()
+	}
+}
+
+// PhaseTiming is one top-level phase's name and duration — the
+// condensed trace shape stored in slow-query log entries.
+type PhaseTiming struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Phases returns the top-level phase timings in execution order.
+func (t *Trace) Phases() []PhaseTiming {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	out := make([]PhaseTiming, 0, len(t.Root.Children))
+	for _, c := range t.Root.Children {
+		out = append(out, PhaseTiming{Name: c.Name, Dur: c.Dur})
+	}
+	return out
+}
+
+// Format renders the trace as an indented tree.
+func (t *Trace) Format() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (%v)", t.Algorithm, t.Duration.Round(time.Microsecond))
+	if t.Err != "" {
+		fmt.Fprintf(&b, " error: %s", t.Err)
+	}
+	b.WriteByte('\n')
+	var walk func(s *Span, indent string)
+	walk = func(s *Span, indent string) {
+		fmt.Fprintf(&b, "%s%s %v", indent, s.Name, s.Dur.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		for _, c := range s.Children {
+			walk(c, indent+"  ")
+		}
+	}
+	for _, c := range t.Root.Children {
+		walk(c, "  ")
+	}
+	return b.String()
+}
+
+// PhaseError annotates a cancellation (or deadline expiry) with the
+// query phase it interrupted, so traces and slow-query log entries can
+// tell a client cancel from a deadline and say where the query died.
+// It unwraps to the context's cause, keeping errors.Is(err,
+// context.Canceled / context.DeadlineExceeded) working.
+type PhaseError struct {
+	Phase string
+	Cause error
+}
+
+func (e *PhaseError) Error() string {
+	return "query phase " + e.Phase + ": " + e.Cause.Error()
+}
+
+func (e *PhaseError) Unwrap() error { return e.Cause }
+
+// Canceled returns nil while ctx is live, and a *PhaseError wrapping
+// context.Cause(ctx) once it is done — the standard shape of every
+// cancellation poll in the engine.
+func Canceled(ctx context.Context, phase string) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = ctx.Err()
+	}
+	return &PhaseError{Phase: phase, Cause: cause}
+}

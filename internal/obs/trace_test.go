@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceAndSpanAreNoops(t *testing.T) {
+	var tr *Trace
+	sp := tr.Span("parse")
+	if sp != nil {
+		t.Fatal("nil trace must hand out nil spans")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 1)
+	sp.SetAttrFloat("f", 1.5)
+	sp.End()
+	sp.Attach(&Span{Name: "x"})
+	if c := sp.Child("child"); c != nil {
+		t.Error("nil span must hand out nil children")
+	}
+	if _, ok := sp.Attr("k"); ok {
+		t.Error("nil span has no attrs")
+	}
+	if sp.Find("x") != nil || tr.Find("x") != nil {
+		t.Error("nil find must return nil")
+	}
+	tr.Finish(errors.New("boom"))
+	if tr.Format() != "" || tr.Phases() != nil {
+		t.Error("nil trace must format empty")
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("SELECT ?x WHERE { ?x <p> ?y }")
+	tr.Algorithm = "TD-CMD"
+	parse := tr.Span("parse")
+	parse.End()
+	exec := tr.Span("execute")
+	join := &Span{Name: "op:BroadcastJoin", Dur: 3 * time.Millisecond}
+	join.SetAttrInt("rows", 42)
+	join.Attach(&Span{Name: "op:Scan"})
+	exec.Attach(join)
+	exec.End()
+	tr.Finish(nil)
+
+	if tr.Duration <= 0 {
+		t.Error("Finish must stamp a positive duration")
+	}
+	if tr.Err != "" {
+		t.Errorf("Err = %q, want empty", tr.Err)
+	}
+	phases := tr.Phases()
+	if len(phases) != 2 || phases[0].Name != "parse" || phases[1].Name != "execute" {
+		t.Fatalf("phases = %+v, want [parse execute]", phases)
+	}
+	if tr.Find("op:Scan") == nil {
+		t.Error("Find must reach nested operator spans")
+	}
+	if v, ok := tr.Find("op:BroadcastJoin").Attr("rows"); !ok || v != "42" {
+		t.Errorf("rows attr = %q,%v want 42,true", v, ok)
+	}
+	out := tr.Format()
+	for _, want := range []string{"trace TD-CMD", "parse", "execute", "op:BroadcastJoin", "rows=42", "    op:Scan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceFinishError(t *testing.T) {
+	tr := NewTrace("q")
+	tr.Finish(errors.New("boom"))
+	if tr.Err != "boom" {
+		t.Errorf("Err = %q, want boom", tr.Err)
+	}
+	if !strings.Contains(tr.Format(), "error: boom") {
+		t.Error("Format must surface the error")
+	}
+}
+
+func TestCanceledLiveContext(t *testing.T) {
+	if err := Canceled(context.Background(), "join"); err != nil {
+		t.Fatalf("live context: got %v", err)
+	}
+}
+
+func TestCanceledDistinguishesCauses(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx, "join")
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("manual cancel: got %v, want wrap of context.Canceled", err)
+	}
+	var pe *PhaseError
+	if !errors.As(err, &pe) || pe.Phase != "join" {
+		t.Fatalf("want PhaseError{Phase: join}, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "query phase join") {
+		t.Errorf("error text %q must name the phase", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	derr := Canceled(dctx, "execute")
+	if !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("deadline: got %v, want wrap of context.DeadlineExceeded", derr)
+	}
+	if errors.Is(derr, context.Canceled) {
+		t.Error("deadline expiry must not read as a manual cancel")
+	}
+
+	cause := errors.New("client went away")
+	cctx, ccancel := context.WithCancelCause(context.Background())
+	ccancel(cause)
+	if cerr := Canceled(cctx, "stats"); !errors.Is(cerr, cause) {
+		t.Fatalf("cause: got %v, want wrap of %v", cerr, cause)
+	}
+}

@@ -66,6 +66,7 @@ func runHGR(ctx context.Context, in *Input) (*Result, error) {
 		counter: &counters{},
 		params:  in.Params,
 		opt:     Options{Parallelism: in.Parallelism},
+		inst:    in.Inst,
 	}
 	p, err := sp.run()
 	if err != nil {

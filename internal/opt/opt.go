@@ -3,6 +3,7 @@ package opt
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"sparqlopt/internal/bitset"
 	"sparqlopt/internal/cost"
@@ -71,6 +72,10 @@ type Input struct {
 	// counters match the sequential run exactly. Options.Parallelism,
 	// when set, takes precedence (OptimizeWithOptions callers).
 	Parallelism int
+	// Inst, when non-nil, receives run metrics (per-algorithm timing,
+	// memo hit rate, pruning tallies). Unlike Counter, its values are
+	// schedule-dependent; nil disables recording entirely.
+	Inst *Instruments
 }
 
 // Result is the outcome of an optimization run.
@@ -86,6 +91,13 @@ type Result struct {
 	Groups []bitset.TPSet
 }
 
+// String summarizes the run on one line: the concrete algorithm, the
+// plan cost and the search-space counters.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: cost=%.4g cmds=%d plans=%d subqueries=%d",
+		r.Used, r.Plan.Cost, r.Counter.CMDs, r.Counter.Plans, r.Counter.Subqueries)
+}
+
 // Optimize runs the selected algorithm. ctx bounds the run; on
 // cancellation or deadline the error is ctx.Err() (the paper's
 // experiments cap optimization at 600 s and report "N/A").
@@ -93,6 +105,18 @@ func Optimize(ctx context.Context, in *Input, algo Algorithm) (*Result, error) {
 	if err := normalize(in); err != nil {
 		return nil, err
 	}
+	var start time.Time
+	if in.Inst != nil {
+		start = time.Now()
+	}
+	res, err := dispatch(ctx, in, algo)
+	if err == nil && in.Inst != nil {
+		in.Inst.recordRun(res.Used, time.Since(start), res.Counter)
+	}
+	return res, err
+}
+
+func dispatch(ctx context.Context, in *Input, algo Algorithm) (*Result, error) {
 	switch algo {
 	case TDCMD:
 		return runTD(ctx, in, Options{})
@@ -117,7 +141,15 @@ func OptimizeWithOptions(ctx context.Context, in *Input, o Options) (*Result, er
 	if err := normalize(in); err != nil {
 		return nil, err
 	}
-	return runTD(ctx, in, o)
+	var start time.Time
+	if in.Inst != nil {
+		start = time.Now()
+	}
+	res, err := runTD(ctx, in, o)
+	if err == nil && in.Inst != nil {
+		in.Inst.recordRun(res.Used, time.Since(start), res.Counter)
+	}
+	return res, err
 }
 
 func normalize(in *Input) error {
@@ -164,6 +196,7 @@ func identitySpace(ctx context.Context, in *Input, o Options) *space {
 		params:  in.Params,
 		opt:     o,
 		counter: &counters{},
+		inst:    in.Inst,
 	}
 }
 
@@ -192,7 +225,7 @@ func runTD(ctx context.Context, in *Input, o Options) (*Result, error) {
 func runAuto(ctx context.Context, in *Input) (*Result, error) {
 	jg := in.Views.Join
 	algo := chooseAuto(jg)
-	res, err := Optimize(ctx, in, algo)
+	res, err := dispatch(ctx, in, algo) // not Optimize: the outer call records the run metrics once
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"sparqlopt/internal/bitset"
 	"sparqlopt/internal/cost"
+	"sparqlopt/internal/obs"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/querygraph"
 )
@@ -83,6 +84,10 @@ type space struct {
 	params  cost.Params
 	opt     Options
 	counter *counters
+	// inst is the optional metrics bundle; nil disables recording.
+	// Memo hit/miss splits and pruning tallies are schedule-dependent,
+	// so they flow here rather than into the deterministic counters.
+	inst *Instruments
 
 	// leaves caches the leaf plan of every unit: leaf plans are pure
 	// functions of the unit, and localPlan/bestPlanGen ask for the
@@ -131,7 +136,7 @@ func (w *worker) cancelled() bool {
 	}
 	w.steps++
 	if w.steps%cancelCheckInterval == 0 {
-		if err := sp.ctx.Err(); err != nil {
+		if err := obs.Canceled(sp.ctx, "optimize"); err != nil {
 			sp.fail(err)
 			return true
 		}
@@ -167,7 +172,7 @@ func (sp *space) run() (*plan.Node, error) {
 	if !sp.jg.Connected(all) {
 		return nil, fmt.Errorf("opt: query is disconnected; a Cartesian-product-free plan does not exist")
 	}
-	if err := sp.ctx.Err(); err != nil {
+	if err := obs.Canceled(sp.ctx, "optimize"); err != nil {
 		return nil, err // honor already-expired contexts before fanning out
 	}
 	sp.buildLeaves()
@@ -203,8 +208,10 @@ func (sp *space) buildLeaves() {
 // known local (Lemma 4), which lets us skip the check.
 func (sp *space) best(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node {
 	if p, ok := sp.memo[s]; ok {
+		sp.inst.memoHit()
 		return p
 	}
+	sp.inst.memoMiss()
 	if w.cancelled() {
 		return nil
 	}
@@ -226,6 +233,7 @@ func (sp *space) bestPlanGen(s bitset.TPSet, inheritedLocal bool, w *worker) *pl
 	if local {
 		bPlan = sp.localPlan(s)
 		if sp.opt.LocalShortcut {
+			sp.inst.localShortcut()
 			return bPlan // Rule 3: the local join plan is final
 		}
 	}
@@ -278,6 +286,8 @@ func (sp *space) bestCandidate(children []*plan.Node, out float64, plans *int64)
 		if bc < c {
 			alg, c = plan.BroadcastJoin, bc
 		}
+	} else {
+		sp.inst.broadcastSkipped() // Rule 2 pruned this candidate
 	}
 	return alg, c
 }
@@ -291,8 +301,10 @@ func (sp *space) bestCandidate(children []*plan.Node, out float64, plans *int64)
 func (sp *space) bestPar(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node {
 	f, owner := sp.pmemo.claim(s)
 	if !owner {
+		sp.inst.memoHit()
 		return f.wait()
 	}
+	sp.inst.memoMiss()
 	var p *plan.Node
 	if !w.cancelled() {
 		p = sp.bestPlanGenPar(s, inheritedLocal, w)
@@ -335,6 +347,7 @@ func (sp *space) bestPlanGenPar(s bitset.TPSet, inheritedLocal bool, w *worker) 
 	if local {
 		lp := sp.localPlan(s)
 		if sp.opt.LocalShortcut {
+			sp.inst.localShortcut()
 			return lp // Rule 3: the local join plan is final
 		}
 		red.best = lp

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"sparqlopt/internal/bitset"
+	"sparqlopt/internal/obs"
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/querygraph"
@@ -182,6 +183,32 @@ func (c *Cache) Counters() Counters {
 	}
 }
 
+// RegisterMetrics exposes the cache's counters and occupancy as live
+// gauges on r (read at exposition time, no per-operation overhead).
+// Safe to call on a nil cache or registry (no-op).
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	if c == nil || r == nil {
+		return
+	}
+	gauges := []struct {
+		name, help string
+		fn         func() float64
+	}{
+		{"plancache_hits", "Optimize calls served from a cached plan.", func() float64 { return float64(c.hits.Load()) }},
+		{"plancache_misses", "Optimize calls that ran the optimizer.", func() float64 { return float64(c.misses.Load()) }},
+		{"plancache_evictions", "Entries dropped by the LRU bound.", func() float64 { return float64(c.evictions.Load()) }},
+		{"plancache_singleflight_waits", "Calls that joined an in-flight optimization.", func() float64 { return float64(c.waits.Load()) }},
+		{"plancache_invalidations", "Entries reset by dataset epoch moves.", func() float64 { return float64(c.invalidations.Load()) }},
+		{"plancache_stats_hits", "Statistics snapshots served from the cache.", func() float64 { return float64(c.statsHits.Load()) }},
+		{"plancache_stats_misses", "Fresh statistics collections.", func() float64 { return float64(c.statsMisses.Load()) }},
+		{"plancache_entries", "Resident fingerprints.", func() float64 { return float64(c.Len()) }},
+		{"plancache_capacity", "Fingerprint capacity.", func() float64 { return float64(c.Capacity()) }},
+	}
+	for _, g := range gauges {
+		r.GaugeFunc(g.name, g.help, g.fn)
+	}
+}
+
 // entryFor returns the (possibly fresh) entry for canon, updating LRU
 // order and evicting past capacity. It returns nil on a 128-bit
 // fingerprint collision between different templates — the newcomer is
@@ -232,22 +259,33 @@ func (e *entry) syncEpoch(epoch uint64, c *Cache) {
 // when one is running, and otherwise optimizing via the callbacks
 // (collect may be skipped when a statistics snapshot is cached). The
 // returned result's plan is always in q's own pattern/variable space.
+// tr, when non-nil, receives canonicalize / cache_lookup / stats /
+// enumerate lifecycle spans.
 func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorithm, epoch uint64,
-	collect CollectFunc, optimize OptimizeFunc) (*opt.Result, Info, error) {
+	collect CollectFunc, optimize OptimizeFunc, tr *obs.Trace) (*opt.Result, Info, error) {
+	sp := tr.Span("canonicalize")
 	canon, err := querygraph.Canonicalize(q)
+	sp.End()
 	if err != nil {
 		return nil, Info{}, err
 	}
+	lookup := tr.Span("cache_lookup")
 	e := c.entryFor(canon)
 	if e == nil {
 		// Fingerprint collision: bypass the cache for this query.
+		lookup.SetAttr("outcome", "collision")
+		lookup.End()
 		c.misses.Add(1)
 		c.statsMisses.Add(1)
+		sp := tr.Span("stats")
 		st, err := collect(q)
+		sp.End()
 		if err != nil {
 			return nil, Info{}, err
 		}
+		sp = tr.Span("enumerate")
 		res, err := optimize(ctx, q, st)
+		sp.End()
 		return res, Info{Epoch: epoch}, err
 	}
 
@@ -264,15 +302,24 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 			select {
 			case <-s.done:
 			case <-ctx.Done():
-				return nil, Info{}, ctx.Err()
+				lookup.SetAttr("outcome", "canceled")
+				lookup.End()
+				return nil, Info{}, obs.Canceled(ctx, "cache_lookup")
 			}
 		}
 		if s.err != nil {
 			// The owner failed and removed the slot; surface its error
 			// (fresh calls will retry the optimization).
+			lookup.SetAttr("outcome", "error")
+			lookup.End()
 			return nil, Info{Epoch: epoch}, s.err
 		}
 		c.hits.Add(1)
+		lookup.SetAttr("outcome", "hit")
+		if shared {
+			lookup.SetAttr("shared", "true")
+		}
+		lookup.End()
 		return &opt.Result{
 			Plan:    remapPlan(s.plan, canon.PatternOf, canon.VarOf),
 			Counter: s.counter,
@@ -291,11 +338,18 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 	e.mu.Unlock()
 
 	c.misses.Add(1)
+	lookup.SetAttr("outcome", "miss")
+	lookup.End()
+	stSpan := tr.Span("stats")
 	if st != nil {
 		c.statsHits.Add(1)
+		stSpan.SetAttr("source", "cached_snapshot")
+		stSpan.End()
 	} else {
 		c.statsMisses.Add(1)
+		stSpan.SetAttr("source", "collected")
 		qs, err := collect(q)
+		stSpan.End()
 		if err != nil {
 			c.fail(e, algo, s, err)
 			return nil, Info{Epoch: epoch}, err
@@ -309,7 +363,9 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 		e.mu.Unlock()
 	}
 
+	enumSpan := tr.Span("enumerate")
 	res, err := optimize(ctx, q, st)
+	enumSpan.End()
 	if err != nil {
 		c.fail(e, algo, s, err)
 		return nil, Info{Epoch: epoch}, err

@@ -63,7 +63,7 @@ func (h *harness) optimize(ctx context.Context, q *sparql.Query, st *stats.Stats
 func (h *harness) serve(t *testing.T, c *Cache, src string, epoch uint64) (*opt.Result, Info) {
 	t.Helper()
 	q := sparql.MustParse(src)
-	res, info, err := c.Optimize(context.Background(), q, opt.TDCMD, epoch, h.collect, h.optimize)
+	res, info, err := c.Optimize(context.Background(), q, opt.TDCMD, epoch, h.collect, h.optimize, nil)
 	if err != nil {
 		t.Fatalf("Optimize(%q): %v", src, err)
 	}
@@ -150,7 +150,7 @@ func TestSingleflightDedup(t *testing.T) {
 			defer wg.Done()
 			started <- struct{}{}
 			q := sparql.MustParse(chainQuery)
-			res, info, err := c.Optimize(context.Background(), q, opt.TDCMD, 1, h.collect, h.optimize)
+			res, info, err := c.Optimize(context.Background(), q, opt.TDCMD, 1, h.collect, h.optimize, nil)
 			infos[i], errs[i] = info, err
 			if err == nil {
 				errs[i] = res.Plan.Validate()
@@ -249,7 +249,7 @@ func TestOwnerErrorIsRetriable(t *testing.T) {
 	q := sparql.MustParse(chainQuery)
 	boom := fmt.Errorf("boom")
 	_, _, err := c.Optimize(context.Background(), q, opt.TDCMD, 1, h.collect,
-		func(context.Context, *sparql.Query, *stats.Stats) (*opt.Result, error) { return nil, boom })
+		func(context.Context, *sparql.Query, *stats.Stats) (*opt.Result, error) { return nil, boom }, nil)
 	if err != boom {
 		t.Fatalf("err %v, want boom", err)
 	}

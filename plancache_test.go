@@ -74,10 +74,10 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	}
 	want := make([]*ExecResult, len(cacheQueries))
 	for i, src := range cacheQueries {
-		if want[i], err = plain.Run(context.Background(), src, TDCMD); err != nil {
+		if want[i], err = plain.Run(context.Background(), src, WithAlgorithm(TDCMD)); err != nil {
 			t.Fatalf("uncached %d: %v", i, err)
 		}
-		if want[i].Cache.Enabled {
+		if want[i].CacheInfo.Enabled {
 			t.Fatal("uncached system reports cache enabled")
 		}
 	}
@@ -91,7 +91,7 @@ func TestPlanCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < len(cacheQueries); k++ {
 				i := (w + k) % len(cacheQueries)
-				got, err := cached.Run(context.Background(), cacheQueries[i], TDCMD)
+				got, err := cached.Run(context.Background(), cacheQueries[i], WithAlgorithm(TDCMD))
 				if err != nil {
 					errc <- fmt.Errorf("worker %d query %d: %w", w, i, err)
 					return
@@ -109,13 +109,13 @@ func TestPlanCacheConcurrent(t *testing.T) {
 						}
 					}
 				}
-				if !got.Cache.Enabled {
+				if !got.CacheInfo.Enabled {
 					errc <- fmt.Errorf("worker %d query %d: cache not enabled", w, i)
 					return
 				}
-				if got.Cache.Hit && got.Cache.EnumeratedJoins != 0 {
+				if got.CacheInfo.Hit && got.EnumeratedJoins() != 0 {
 					errc <- fmt.Errorf("worker %d query %d: hit enumerated %d joins",
-						w, i, got.Cache.EnumeratedJoins)
+						w, i, got.EnumeratedJoins())
 					return
 				}
 			}
@@ -138,11 +138,11 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	// Epoch bump: every fingerprint is re-optimized exactly once more.
 	ds.Add("http://zed", "http://knows", "http://alice")
 	for _, src := range cacheQueries {
-		res, err := cached.Run(context.Background(), src, TDCMD)
+		res, err := cached.Run(context.Background(), src, WithAlgorithm(TDCMD))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Cache.Hit {
+		if res.CacheInfo.Hit {
 			t.Fatalf("stale plan served after dataset mutation: %q", src)
 		}
 	}
@@ -154,11 +154,11 @@ func TestPlanCacheConcurrent(t *testing.T) {
 		t.Error("no invalidations recorded after epoch bump")
 	}
 	// And the re-optimized plans are cached again.
-	res, err := cached.Run(context.Background(), cacheQueries[0], TDCMD)
+	res, err := cached.Run(context.Background(), cacheQueries[0], WithAlgorithm(TDCMD))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Cache.Hit {
+	if !res.CacheInfo.Hit {
 		t.Error("no hit at the new epoch")
 	}
 }
@@ -174,20 +174,20 @@ func TestPlanCacheTemplateReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := `SELECT * WHERE { <http://alice> <http://knows> ?y . ?y <http://age> ?a . }`
-	if _, err := sys.Run(context.Background(), seed, TDAuto); err != nil {
+	if _, err := sys.Run(context.Background(), seed, WithAlgorithm(TDAuto)); err != nil {
 		t.Fatal(err)
 	}
 	// Same template, different constant, shuffled + renamed.
 	iso := `SELECT * WHERE { ?p <http://age> ?n . <http://bob> <http://knows> ?p . }`
-	got, err := sys.Run(context.Background(), iso, TDAuto)
+	got, err := sys.Run(context.Background(), iso, WithAlgorithm(TDAuto))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Cache.Hit {
+	if !got.CacheInfo.Hit {
 		t.Fatal("isomorphic query missed the cache")
 	}
-	if got.Cache.EnumeratedJoins != 0 {
-		t.Fatalf("cache hit enumerated %d joins, want 0", got.Cache.EnumeratedJoins)
+	if got.EnumeratedJoins() != 0 {
+		t.Fatalf("cache hit enumerated %d joins, want 0", got.EnumeratedJoins())
 	}
 	q, err := ParseQuery(iso)
 	if err != nil {
@@ -210,14 +210,14 @@ func TestPlanCacheDisabledByDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(context.Background(), cacheQueries[1], TDAuto)
+	res, err := sys.Run(context.Background(), cacheQueries[1], WithAlgorithm(TDAuto))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Cache.Enabled || res.Cache.Hit {
-		t.Fatalf("cache info %+v on an uncached system", res.Cache)
+	if res.CacheInfo.Enabled || res.CacheInfo.Hit {
+		t.Fatalf("cache info %+v on an uncached system", res.CacheInfo)
 	}
-	if res.Cache.EnumeratedJoins == 0 {
+	if res.EnumeratedJoins() == 0 {
 		t.Error("uncached run reported zero enumerated joins")
 	}
 	if st := sys.CacheStats(); st != (CacheCounters{}) {
@@ -244,18 +244,18 @@ func TestPlanCacheAllAlgorithms(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range []Algorithm{TDCMD, TDCMDP, HGRTDCMD, TDAuto} {
-		cold, err := sys.Run(context.Background(), src, algo)
+		cold, err := sys.Run(context.Background(), src, WithAlgorithm(algo))
 		if err != nil {
 			t.Fatalf("%v cold: %v", algo, err)
 		}
-		if cold.Cache.Hit {
+		if cold.CacheInfo.Hit {
 			t.Fatalf("%v: cold run hit — algorithms must not share plan slots", algo)
 		}
-		warm, err := sys.Run(context.Background(), src, algo)
+		warm, err := sys.Run(context.Background(), src, WithAlgorithm(algo))
 		if err != nil {
 			t.Fatalf("%v warm: %v", algo, err)
 		}
-		if !warm.Cache.Hit {
+		if !warm.CacheInfo.Hit {
 			t.Fatalf("%v: warm run missed", algo)
 		}
 		sameRows(t, fmt.Sprintf("%v cold", algo), cold, want)

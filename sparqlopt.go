@@ -13,7 +13,9 @@
 //     (hash on subject+object, 2-hop forward semantic hash, path
 //     partitioning, undirected one-hop with a graph partitioner);
 //   - a simulated shared-nothing cluster that executes the plans with
-//     local, broadcast and repartition joins.
+//     local, broadcast and repartition joins;
+//   - an observability layer (WithObservability): Prometheus-style
+//     metrics, per-query lifecycle traces and a slow-query log.
 //
 // Quick start:
 //
@@ -21,18 +23,26 @@
 //	ds.Add("http://a", "http://knows", "http://b")
 //	sys, _ := sparqlopt.Open(ds, sparqlopt.WithNodes(4))
 //	res, _ := sys.Run(context.Background(),
-//	    `SELECT * WHERE { ?x <http://knows> ?y . }`, sparqlopt.TDAuto)
+//	    `SELECT * WHERE { ?x <http://knows> ?y . }`)
 //	fmt.Println(res.Rows)
+//
+// Run defaults to the TD-Auto algorithm; per-call behavior is set with
+// RunOptions (WithAlgorithm, WithDeadline, WithTraceSink,
+// WithoutCache). A bare Algorithm is itself a RunOption, so the older
+// positional call style Run(ctx, src, sparqlopt.TDCMD) still compiles
+// and behaves identically.
 package sparqlopt
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"sparqlopt/internal/cost"
 	"sparqlopt/internal/engine"
 	"sparqlopt/internal/ntriples"
+	"sparqlopt/internal/obs"
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/plan"
@@ -67,6 +77,20 @@ type (
 	// CacheCounters is a snapshot of the plan cache's cumulative
 	// hit/miss/evict/singleflight counters.
 	CacheCounters = plancache.Counters
+	// RunOption configures one serving call (Run/Optimize and friends).
+	RunOption = opt.RunOption
+	// Registry is a metrics registry with Prometheus text exposition.
+	Registry = obs.Registry
+	// Trace is the recorded lifecycle of one serving call.
+	Trace = obs.Trace
+	// Span is one timed step of a trace.
+	Span = obs.Span
+	// SlowQueryEntry is one slow-query log record.
+	SlowQueryEntry = obs.SlowQueryEntry
+	// PhaseError annotates a cancellation with the query phase it
+	// interrupted; errors.Is(err, context.Canceled/DeadlineExceeded)
+	// still works through it.
+	PhaseError = obs.PhaseError
 )
 
 // The optimization algorithms of the paper.
@@ -102,6 +126,33 @@ func PartitionMethod(name string) (Method, error) { return partition.ByName(name
 // 10-node cluster.
 func DefaultCostParams() CostParams { return cost.Default }
 
+// WithAlgorithm selects the optimization algorithm for one call
+// (default TD-Auto). Passing a bare Algorithm value is equivalent.
+func WithAlgorithm(a Algorithm) RunOption {
+	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.Algorithm = a })
+}
+
+// WithDeadline bounds one call with a per-call timeout, layered on any
+// deadline ctx already carries. On expiry the error wraps
+// context.DeadlineExceeded and names the query phase it interrupted.
+func WithDeadline(d time.Duration) RunOption {
+	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.Deadline = d })
+}
+
+// WithTraceSink enables lifecycle tracing for one call: the completed
+// trace (parse → cache lookup → stats → enumerate → execute, with
+// per-operator spans) is handed to sink before the call returns.
+// Tracing works with or without WithObservability.
+func WithTraceSink(sink func(*Trace)) RunOption {
+	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.TraceSink = sink })
+}
+
+// WithoutCache bypasses the plan cache for one call: the query is
+// optimized from scratch and the result is not stored.
+func WithoutCache() RunOption {
+	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.NoCache = true })
+}
+
 // System is a partitioned dataset ready to optimize and execute
 // queries — the in-process analogue of the paper's prototype cluster.
 type System struct {
@@ -113,6 +164,18 @@ type System struct {
 	placement   *partition.Placement
 	engine      *engine.Engine
 	cache       *plancache.Cache // nil = caching disabled
+	obs         *obsState        // nil = observability disabled
+	optInst     *opt.Instruments // nil when observability is disabled
+}
+
+// obsState bundles the observability wiring of one System: the metrics
+// registry, the root serving-path instruments and the slow-query log.
+type obsState struct {
+	registry     *obs.Registry
+	slowLog      *obs.SlowLog
+	queries      *obs.Counter
+	queryErrors  *obs.Counter
+	querySeconds *obs.Histogram
 }
 
 // Option configures Open.
@@ -125,6 +188,13 @@ type openConfig struct {
 	sampleRate  float64
 	parallelism int
 	planCache   int
+	obs         *obsConfig
+}
+
+type obsConfig struct {
+	registry      *obs.Registry
+	slowCap       int
+	slowThreshold time.Duration
 }
 
 // WithMethod selects the data partitioning method (default HashSO).
@@ -163,6 +233,42 @@ func WithPlanCache(n int) Option { return func(c *openConfig) { c.planCache = n 
 // default (and rate 1) is exact collection.
 func WithSampledStats(rate float64) Option { return func(c *openConfig) { c.sampleRate = rate } }
 
+// ObsOption configures WithObservability.
+type ObsOption func(*obsConfig)
+
+// WithMetricsRegistry registers the system's metrics on an existing
+// registry instead of a private one — for sharing one exposition
+// endpoint across several systems. Metric names collide if two systems
+// share a registry; use one registry per System.
+func WithMetricsRegistry(r *Registry) ObsOption { return func(c *obsConfig) { c.registry = r } }
+
+// WithSlowQueryLog keeps the last capacity queries that ran at or over
+// threshold (failed queries are always logged). Entries are read back
+// with System.SlowQueries.
+func WithSlowQueryLog(capacity int, threshold time.Duration) ObsOption {
+	return func(c *obsConfig) {
+		c.slowCap = capacity
+		c.slowThreshold = threshold
+	}
+}
+
+// WithObservability turns on the metrics layer: the optimizer, engine,
+// plan cache and serving path register Prometheus-style instruments,
+// exposed through System.WriteMetrics. Optional ObsOptions add a
+// slow-query log or redirect registration to a shared registry. When
+// this option is absent every instrument hook in the hot paths reduces
+// to one nil check — the overhead is below the benchmark noise floor
+// (see the obsoverhead experiment).
+func WithObservability(opts ...ObsOption) Option {
+	return func(c *openConfig) {
+		cfg := &obsConfig{}
+		for _, o := range opts {
+			o(cfg)
+		}
+		c.obs = cfg
+	}
+}
+
 // Open partitions the dataset and builds the execution engine.
 func Open(ds *Dataset, opts ...Option) (*System, error) {
 	cfg := openConfig{method: partition.HashSO{}, params: cost.Default, nodes: cost.Default.Nodes, sampleRate: 1}
@@ -182,7 +288,7 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 	}
 	eng := engine.New(ds.Dict, placement)
 	eng.SetParallelism(cfg.parallelism)
-	return &System{
+	s := &System{
 		ds:          ds,
 		method:      cfg.method,
 		params:      cfg.params,
@@ -191,7 +297,29 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		placement:   placement,
 		engine:      eng,
 		cache:       plancache.New(cfg.planCache),
-	}, nil
+	}
+	if cfg.obs != nil {
+		r := cfg.obs.registry
+		if r == nil {
+			r = obs.NewRegistry()
+		}
+		s.obs = &obsState{
+			registry:     r,
+			queries:      r.Counter("query_runs_total", "Serving calls (Run/RunQuery)."),
+			queryErrors:  r.Counter("query_errors_total", "Serving calls that returned an error."),
+			querySeconds: r.Histogram("query_seconds", "End-to-end serving latency.", nil),
+		}
+		if cfg.obs.slowCap > 0 {
+			s.obs.slowLog = obs.NewSlowLog(cfg.obs.slowCap, cfg.obs.slowThreshold)
+			log := s.obs.slowLog
+			r.GaugeFunc("slow_queries_total", "Queries ever recorded in the slow-query log.",
+				func() float64 { return float64(log.Total()) })
+		}
+		s.optInst = opt.NewInstruments(r)
+		eng.SetInstruments(engine.NewInstruments(r))
+		s.cache.RegisterMetrics(r)
+	}
+	return s, nil
 }
 
 // Method returns the partitioning method in use.
@@ -203,29 +331,89 @@ func (s *System) ReplicationFactor() float64 {
 	return s.placement.ReplicationFactor(s.ds.Len())
 }
 
-// Optimize parses and optimizes a query with the chosen algorithm.
-// The query is parsed exactly once and the parsed form is shared with
-// statistics collection and graph-view construction (callers that
-// also execute should prefer Run, or parse once themselves and use
-// OptimizeQuery + Execute, to avoid re-parsing).
-func (s *System) Optimize(ctx context.Context, query string, algo Algorithm) (*OptimizeResult, error) {
+// MetricsRegistry returns the system's metrics registry, nil when
+// observability is disabled.
+func (s *System) MetricsRegistry() *Registry {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.registry
+}
+
+// WriteMetrics writes the current metrics in Prometheus text
+// exposition format. It errors when the system was opened without
+// WithObservability.
+func (s *System) WriteMetrics(w io.Writer) error {
+	if s.obs == nil {
+		return fmt.Errorf("sparqlopt: observability disabled (Open with WithObservability)")
+	}
+	return s.obs.registry.WriteMetrics(w)
+}
+
+// SlowQueries returns the retained slow-query log entries, newest
+// first; nil when no slow-query log is configured.
+func (s *System) SlowQueries() []SlowQueryEntry {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.slowLog.Entries()
+}
+
+// Optimize parses and optimizes a query. The query is parsed exactly
+// once and the parsed form is shared with statistics collection and
+// graph-view construction (callers that also execute should prefer
+// Run, or parse once themselves and use OptimizeQuery + Execute, to
+// avoid re-parsing).
+func (s *System) Optimize(ctx context.Context, query string, opts ...RunOption) (*OptimizeResult, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return s.OptimizeQuery(ctx, q, algo)
+	return s.OptimizeQuery(ctx, q, opts...)
 }
 
-// OptimizeQuery optimizes an already-parsed query. When the plan
-// cache is enabled, statistics snapshots are reused across queries of
-// the same fingerprint and epoch (the full plan cache applies only to
-// Run, the serving path).
-func (s *System) OptimizeQuery(ctx context.Context, q *Query, algo Algorithm) (*OptimizeResult, error) {
-	in, err := s.input(q)
+// OptimizeQuery optimizes an already-parsed query (default TD-Auto).
+// When the plan cache is enabled, statistics snapshots are reused
+// across queries of the same fingerprint and epoch (the full plan
+// cache applies only to Run, the serving path).
+func (s *System) OptimizeQuery(ctx context.Context, q *Query, opts ...RunOption) (res *OptimizeResult, err error) {
+	set := opt.NewRunSettings(opts)
+	ctx, cancel := withDeadline(ctx, set.Deadline)
+	defer cancel()
+	var tr *obs.Trace
+	if set.TraceSink != nil {
+		tr = obs.NewTrace(q.String())
+		tr.Algorithm = set.Algorithm.String()
+		defer func() {
+			tr.Finish(err)
+			set.TraceSink(tr)
+		}()
+	}
+	return s.optimizeTraced(ctx, q, set.Algorithm, tr)
+}
+
+// optimizeTraced is the uncached optimization path: collect statistics
+// and enumerate, each under its own trace phase.
+func (s *System) optimizeTraced(ctx context.Context, q *Query, algo Algorithm, tr *obs.Trace) (*OptimizeResult, error) {
+	sp := tr.Span("stats")
+	st, err := s.collect(q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return opt.Optimize(ctx, in, algo)
+	in, err := s.inputWithStats(q, st)
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.Span("enumerate")
+	res, err := opt.Optimize(ctx, in, algo)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp.SetAttr("algorithm", res.Used.String())
+	sp.SetAttrInt("cmds", res.Counter.CMDs)
+	return res, nil
 }
 
 // collect gathers per-pattern statistics for q, going through the
@@ -240,20 +428,11 @@ func (s *System) collect(q *Query) (*stats.Stats, error) {
 	return st, err
 }
 
-// input assembles the optimizer input for a parsed query, collecting
-// statistics itself.
-func (s *System) input(q *Query) (*opt.Input, error) {
-	st, err := s.collect(q)
-	if err != nil {
-		return nil, err
-	}
-	return s.inputWithStats(q, st)
-}
-
 // inputWithStats assembles the optimizer input around an existing
 // statistics snapshot — the single construction point both the cached
 // and uncached serving paths funnel through, so a query is parsed and
-// its views are built exactly once per Run.
+// its views are built exactly once per Run, and the optimizer's
+// instruments are wired everywhere or nowhere.
 func (s *System) inputWithStats(q *Query, st *stats.Stats) (*opt.Input, error) {
 	views, err := querygraph.Build(q)
 	if err != nil {
@@ -263,7 +442,7 @@ func (s *System) inputWithStats(q *Query, st *stats.Stats) (*opt.Input, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &opt.Input{Query: q, Views: views, Est: est, Params: s.params, Method: s.method, Parallelism: s.parallelism}, nil
+	return &opt.Input{Query: q, Views: views, Est: est, Params: s.params, Method: s.method, Parallelism: s.parallelism, Inst: s.optInst}, nil
 }
 
 // Execute runs a previously optimized plan on the simulated cluster.
@@ -275,31 +454,126 @@ func (s *System) Execute(ctx context.Context, p *Plan, q *Query) (*ExecResult, e
 // query text is parsed exactly once; the parsed form feeds
 // canonicalization, optimization and execution. With WithPlanCache,
 // repeats of a query shape skip statistics collection and plan
-// enumeration entirely (ExecResult.Cache reports what happened).
-func (s *System) Run(ctx context.Context, query string, algo Algorithm) (*ExecResult, error) {
-	q, err := sparql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	return s.RunQuery(ctx, q, algo)
+// enumeration entirely (ExecResult.CacheInfo reports what happened).
+func (s *System) Run(ctx context.Context, query string, opts ...RunOption) (*ExecResult, error) {
+	return s.serve(ctx, query, nil, opt.NewRunSettings(opts))
 }
 
 // RunQuery optimizes and executes an already-parsed query.
-func (s *System) RunQuery(ctx context.Context, q *Query, algo Algorithm) (*ExecResult, error) {
-	if s.cache == nil {
-		res, err := s.OptimizeQuery(ctx, q, algo)
-		if err != nil {
-			return nil, err
-		}
-		out, err := s.engine.Execute(ctx, res.Plan, q)
-		if err != nil {
-			return nil, err
-		}
-		out.Cache = engine.CacheInfo{EnumeratedJoins: res.Counter.CMDs}
-		return out, nil
+func (s *System) RunQuery(ctx context.Context, q *Query, opts ...RunOption) (*ExecResult, error) {
+	return s.serve(ctx, "", q, opt.NewRunSettings(opts))
+}
+
+// withDeadline layers the per-call deadline onto ctx; the returned
+// cancel is a no-op when no deadline was requested.
+func withDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
 	}
-	epoch := s.ds.Epoch()
-	res, info, err := s.cache.Optimize(ctx, q, algo, epoch,
+	return context.WithTimeout(ctx, d)
+}
+
+// serve is the serving path behind Run and RunQuery. Exactly one of
+// src and q is set by the caller. When neither observability nor a
+// trace sink is active it falls through to the plain pipeline without
+// reading the clock.
+func (s *System) serve(ctx context.Context, src string, q *Query, set opt.RunSettings) (*ExecResult, error) {
+	ctx, cancel := withDeadline(ctx, set.Deadline)
+	defer cancel()
+	if s.obs == nil && set.TraceSink == nil {
+		if q == nil {
+			var err error
+			if q, err = sparql.Parse(src); err != nil {
+				return nil, err
+			}
+		}
+		return s.dispatch(ctx, q, set, nil)
+	}
+	return s.serveObserved(ctx, src, q, set)
+}
+
+// serveObserved wraps the pipeline with timing, metrics, the optional
+// trace and the slow-query log.
+func (s *System) serveObserved(ctx context.Context, src string, q *Query, set opt.RunSettings) (out *ExecResult, err error) {
+	start := time.Now()
+	var tr *obs.Trace
+	if set.TraceSink != nil || (s.obs != nil && s.obs.slowLog != nil) {
+		if src == "" && q != nil {
+			src = q.String()
+		}
+		tr = obs.NewTrace(src)
+		tr.Algorithm = set.Algorithm.String()
+	}
+	defer func() {
+		tr.Finish(err)
+		if s.obs != nil {
+			d := time.Since(start)
+			s.obs.queries.Inc()
+			if err != nil {
+				s.obs.queryErrors.Inc()
+			}
+			s.obs.querySeconds.ObserveDuration(d)
+			if s.obs.slowLog != nil {
+				e := obs.SlowQueryEntry{
+					Time:      time.Now(),
+					Query:     src,
+					Algorithm: set.Algorithm.String(),
+					Duration:  d,
+					Phases:    tr.Phases(),
+				}
+				if err != nil {
+					e.Err = err.Error()
+				} else {
+					e.Rows = len(out.Rows)
+					e.CacheHit = out.CacheInfo.Hit
+				}
+				s.obs.slowLog.Record(e)
+			}
+		}
+		if set.TraceSink != nil {
+			set.TraceSink(tr)
+		}
+	}()
+	if q == nil {
+		sp := tr.Span("parse")
+		q, err = sparql.Parse(src)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		sp.SetAttrInt("patterns", int64(len(q.Patterns)))
+	}
+	return s.dispatch(ctx, q, set, tr)
+}
+
+// dispatch plans and executes one parsed query.
+func (s *System) dispatch(ctx context.Context, q *Query, set opt.RunSettings, tr *obs.Trace) (*ExecResult, error) {
+	res, info, err := s.plan(ctx, q, set, tr)
+	if err != nil {
+		return nil, err
+	}
+	sp := tr.Span("execute")
+	out, err := s.engine.Execute(ctx, res.Plan, q)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp.SetAttrInt("rows", int64(len(out.Rows)))
+	out.Trace.AttachSpans(sp)
+	out.Opt = res
+	out.CacheInfo = info
+	return out, nil
+}
+
+// plan produces the physical plan for q: through the plan cache when
+// one is configured and the call did not opt out, otherwise the plain
+// stats + enumerate pipeline.
+func (s *System) plan(ctx context.Context, q *Query, set opt.RunSettings, tr *obs.Trace) (*opt.Result, engine.CacheInfo, error) {
+	if s.cache == nil || set.NoCache {
+		res, err := s.optimizeTraced(ctx, q, set.Algorithm, tr)
+		return res, engine.CacheInfo{}, err
+	}
+	res, info, err := s.cache.Optimize(ctx, q, set.Algorithm, s.ds.Epoch(),
 		func(q *sparql.Query) (*stats.Stats, error) {
 			return stats.CollectSampled(s.ds, q, s.sampleRate)
 		},
@@ -308,20 +582,12 @@ func (s *System) RunQuery(ctx context.Context, q *Query, algo Algorithm) (*ExecR
 			if err != nil {
 				return nil, err
 			}
-			return opt.Optimize(ctx, in, algo)
-		})
+			return opt.Optimize(ctx, in, set.Algorithm)
+		}, tr)
 	if err != nil {
-		return nil, err
+		return nil, engine.CacheInfo{}, err
 	}
-	out, err := s.engine.Execute(ctx, res.Plan, q)
-	if err != nil {
-		return nil, err
-	}
-	out.Cache = engine.CacheInfo{Enabled: true, Hit: info.Hit, Shared: info.Shared, Epoch: info.Epoch}
-	if !info.Hit {
-		out.Cache.EnumeratedJoins = res.Counter.CMDs
-	}
-	return out, nil
+	return res, engine.CacheInfo{Enabled: true, Hit: info.Hit, Shared: info.Shared, Epoch: info.Epoch}, nil
 }
 
 // CacheStats returns the plan cache's cumulative counters; the zero

@@ -36,7 +36,7 @@ func TestOpenAndRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := sys.Run(context.Background(),
-		`SELECT ?x ?y WHERE { ?x <http://knows> ?y . ?y <http://worksFor> ?o . }`, TDAuto)
+		`SELECT ?x ?y WHERE { ?x <http://knows> ?y . ?y <http://worksFor> ?o . }`, WithAlgorithm(TDAuto))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestRunMatchesReferenceForEveryAlgorithm(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, algo := range []Algorithm{TDCMD, TDCMDP, HGRTDCMD, TDAuto} {
-			got, err := sys.Run(context.Background(), src, algo)
+			got, err := sys.Run(context.Background(), src, WithAlgorithm(algo))
 			if err != nil {
 				t.Fatalf("%s/%v: %v", name, algo, err)
 			}
@@ -90,7 +90,7 @@ func TestOptimizeExposesCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := sys.Optimize(context.Background(),
-		`SELECT * WHERE { ?x <http://knows> ?y . ?y <http://knows> ?z . }`, TDCMD)
+		`SELECT * WHERE { ?x <http://knows> ?y . ?y <http://knows> ?z . }`, WithAlgorithm(TDCMD))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestWithCostParams(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := sys.Optimize(context.Background(),
-		`SELECT * WHERE { ?x <http://knows> ?y . ?y <http://knows> ?z . }`, TDCMD)
+		`SELECT * WHERE { ?x <http://knows> ?y . ?y <http://knows> ?z . }`, WithAlgorithm(TDCMD))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestConcurrentQueries(t *testing.T) {
 			wg.Add(1)
 			go func(q string) {
 				defer wg.Done()
-				if _, err := sys.Run(context.Background(), q, TDAuto); err != nil {
+				if _, err := sys.Run(context.Background(), q, WithAlgorithm(TDAuto)); err != nil {
 					errs <- err
 				}
 			}(q)
