@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race determinism obs bench bench-smoke fuzz-smoke check
+.PHONY: all vet build test race determinism obs chaos bench bench-smoke fuzz-smoke check
 
 all: check
 
@@ -40,6 +40,17 @@ obs:
 	$(GO) test -race -count=2 ./internal/obs
 	$(GO) test -race -run 'TestObservability|TestTraceTree|TestCancellationReportsPhase|TestPositionalAlgorithm' .
 
+# The resilience gate: a doubled, race-instrumented run of the chaos
+# suite (64 goroutines injecting deterministic faults into a shared
+# System) plus a short sweep over extra fault-injection seeds. The
+# suite reads CHAOS_SEED, so a failing seed reproduces with
+# `CHAOS_SEED=n go test -run TestChaosServing -race .`.
+chaos:
+	$(GO) test -run 'TestChaos' -race -count=2 .
+	for seed in 2 3 7; do \
+		CHAOS_SEED=$$seed $(GO) test -run 'TestChaosServing' -race . || exit 1; \
+	done
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -55,4 +66,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/sparql
 	$(GO) test -run='^$$' -fuzz='^FuzzCanonicalize$$' -fuzztime=5s ./internal/querygraph
 
-check: vet build race determinism obs bench-smoke fuzz-smoke
+check: vet build race determinism obs chaos bench-smoke fuzz-smoke

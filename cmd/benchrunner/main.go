@@ -8,14 +8,17 @@
 //	-experiment  which artifact to regenerate:
 //	             table3 | table4 | table5 | table6 | table7 |
 //	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
-//	             engine | plancache | obsoverhead | all
+//	             engine | plancache | obsoverhead | overload | all
 //	             (default all; ablation is this repo's extra study of
 //	             the TD-CMDP pruning rules; engine profiles end-to-end
 //	             execution and writes BENCH_engine.json; plancache
 //	             replays LUBM L1–L10 cold vs warm through the plan
 //	             cache and writes BENCH_plancache.json; obsoverhead
 //	             serves L1–L10 with observability on vs off and writes
-//	             BENCH_obsoverhead.json)
+//	             BENCH_obsoverhead.json; overload drives client fleets
+//	             at 1x-8x of capacity against a gated system (admission
+//	             control + memory budget) and an ungated one and writes
+//	             BENCH_overload.json)
 //	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
 //	             timed-out cells print N/A)
 //	-quick       shrink datasets and instance counts for a fast pass
@@ -30,6 +33,8 @@
 //	             BENCH_plancache.json; empty disables the file)
 //	-obsjson     output path of the observability overhead profile
 //	             (default BENCH_obsoverhead.json; empty disables the file)
+//	-overloadjson  output path of the overload experiment (default
+//	             BENCH_overload.json; empty disables the file)
 //	-metrics     append a Prometheus metrics snapshot to the output of
 //	             the serving-path experiments (engine, plancache,
 //	             obsoverhead)
@@ -51,17 +56,18 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table3|table4|table5|table6|table7|fig6|fig7|fig8|fig7and8|engine|plancache|all")
-		timeout    = flag.Duration("timeout", 0, "per-run optimization cap (0 = paper's 600s, or 3s with -quick)")
-		quick      = flag.Bool("quick", false, "small datasets and instance counts")
-		nodes      = flag.Int("nodes", 0, "simulated cluster size (0 = 10)")
-		seed       = flag.Int64("seed", 1, "generator seed")
-		parallel   = flag.Int("parallelism", 0, "optimizer and engine worker goroutines (0 = all cores, 1 = sequential)")
-		csvDir     = flag.String("csv", "", "also write plot-ready CSV files into this directory (figures only)")
-		engineJSON = flag.String("enginejson", "BENCH_engine.json", "engine profile output path (empty = no file)")
-		pcJSON     = flag.String("plancachejson", "BENCH_plancache.json", "plan cache profile output path (empty = no file)")
-		obsJSON    = flag.String("obsjson", "BENCH_obsoverhead.json", "observability overhead output path (empty = no file)")
-		metrics    = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
+		experiment   = flag.String("experiment", "all", "table3|table4|table5|table6|table7|fig6|fig7|fig8|fig7and8|engine|plancache|all")
+		timeout      = flag.Duration("timeout", 0, "per-run optimization cap (0 = paper's 600s, or 3s with -quick)")
+		quick        = flag.Bool("quick", false, "small datasets and instance counts")
+		nodes        = flag.Int("nodes", 0, "simulated cluster size (0 = 10)")
+		seed         = flag.Int64("seed", 1, "generator seed")
+		parallel     = flag.Int("parallelism", 0, "optimizer and engine worker goroutines (0 = all cores, 1 = sequential)")
+		csvDir       = flag.String("csv", "", "also write plot-ready CSV files into this directory (figures only)")
+		engineJSON   = flag.String("enginejson", "BENCH_engine.json", "engine profile output path (empty = no file)")
+		pcJSON       = flag.String("plancachejson", "BENCH_plancache.json", "plan cache profile output path (empty = no file)")
+		obsJSON      = flag.String("obsjson", "BENCH_obsoverhead.json", "observability overhead output path (empty = no file)")
+		overloadJSON = flag.String("overloadjson", "BENCH_overload.json", "overload experiment output path (empty = no file)")
+		metrics      = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
 	)
 	flag.Parse()
 
@@ -92,8 +98,9 @@ func main() {
 		"engine":      func(cfg bench.Config) error { return bench.EngineBench(cfg, *engineJSON) },
 		"plancache":   func(cfg bench.Config) error { return bench.PlanCacheBench(cfg, *pcJSON) },
 		"obsoverhead": func(cfg bench.Config) error { return bench.ObsOverheadBench(cfg, *obsJSON) },
+		"overload":    func(cfg bench.Config) error { return bench.OverloadBench(cfg, *overloadJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload"}
 
 	run := func(name string) {
 		start := time.Now()

@@ -31,6 +31,16 @@
 //	-slowlog    slow-query threshold; queries at or over it (and all
 //	            failures) are printed from the slow-query log on exit
 //	            (0 = disabled)
+//	-max-concurrent  admission control: at most this many queries are
+//	            served at once; excess queries queue (see -max-queued)
+//	            and overflow is rejected with a typed overload error
+//	            carrying a retry-after hint (0 = unlimited)
+//	-max-queued with -max-concurrent: how many queries may wait for a
+//	            serving slot before rejections start (default 0)
+//	-mem-budget per-query budget in bytes for materialized relations
+//	            and optimizer memo state; queries that would exceed it
+//	            degrade to cheaper plans or fail with a typed budget
+//	            error instead of exhausting the process (0 = unlimited)
 //	-demo       use a generated LUBM dataset and query L8
 //
 // The observability flags (-trace, -metrics, -slowlog) route through
@@ -79,6 +89,9 @@ func main() {
 		slowlog   = flag.Duration("slowlog", 0, "slow-query threshold for the slow-query log (0 = disabled)")
 		demo      = flag.Bool("demo", false, "run the built-in LUBM demo")
 		repl      = flag.Bool("repl", false, "interactive mode: read queries from stdin (use with -data or -demo)")
+		maxConc   = flag.Int("max-concurrent", 0, "admission control: max concurrently served queries (0 = unlimited)")
+		maxQueued = flag.Int("max-queued", 0, "admission control: max queries queued for a slot (with -max-concurrent)")
+		memBudget = flag.Int64("mem-budget", 0, "per-query memory budget in bytes for materialized state (0 = unlimited)")
 	)
 	flag.Parse()
 	if err := run(runConfig{
@@ -87,6 +100,7 @@ func main() {
 		explain: *explain, dot: *dot, timeout: *timeout, demo: *demo,
 		repl: *repl, parallelism: *parallel, planCache: *planCache,
 		trace: *trace, metrics: *metrics, slowlog: *slowlog,
+		maxConcurrent: *maxConc, maxQueued: *maxQueued, memBudget: *memBudget,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
 		os.Exit(1)
@@ -102,6 +116,8 @@ type runConfig struct {
 	trace, metrics                           bool
 	slowlog                                  time.Duration
 	timeout                                  time.Duration
+	maxConcurrent, maxQueued                 int
+	memBudget                                int64
 }
 
 // observing reports whether any observability flag is set.
@@ -227,6 +243,12 @@ func openSystem(cfg runConfig, ds *rdf.Dataset, method partition.Method) (*sparq
 	}
 	if cfg.planCache > 0 {
 		opts = append(opts, sparqlopt.WithPlanCache(cfg.planCache))
+	}
+	if cfg.maxConcurrent > 0 {
+		opts = append(opts, sparqlopt.WithAdmissionControl(cfg.maxConcurrent, cfg.maxQueued))
+	}
+	if cfg.memBudget > 0 {
+		opts = append(opts, sparqlopt.WithMemoryBudget(cfg.memBudget, 0))
 	}
 	if cfg.metrics || cfg.slowlog > 0 {
 		var obsOpts []sparqlopt.ObsOption

@@ -124,36 +124,48 @@ func ObsOverheadBench(cfg Config, jsonPath string) error {
 }
 
 // obsOverheadOne measures one query on both systems, interleaved, and
-// keeps the per-system minimum.
+// keeps the per-system minimum. The query runs under its own deadline:
+// a hang expires this query's context and fails this record only,
+// leaving the rest of the run its full budget.
 func obsOverheadOne(cfg Config, plain, observed *sparqlopt.System, name string, rounds int) (ObsOverheadRecord, error) {
 	src := lubm.QueryText(name)
 	q := lubm.Query(name)
 	rec := ObsOverheadRecord{Query: name, Patterns: len(q.Patterns)}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout()+cfg.execTimeout())
 	defer cancel()
+	err := obsOverheadRun(ctx, plain, observed, src, &rec, rounds)
+	if err != nil && ctx.Err() != nil {
+		rec.Error = err.Error()
+		return rec, nil
+	}
+	return rec, err
+}
+
+// obsOverheadRun is obsOverheadOne's measured body, bounded by ctx.
+func obsOverheadRun(ctx context.Context, plain, observed *sparqlopt.System, src string, rec *ObsOverheadRecord, rounds int) error {
 	// One warmup apiece, off the clock, to populate lazy state.
 	if _, err := plain.Run(ctx, src); err != nil {
 		rec.Error = err.Error()
-		return rec, nil
+		return nil
 	}
 	out, err := observed.Run(ctx, src)
 	if err != nil {
 		rec.Error = err.Error()
-		return rec, nil
+		return nil
 	}
 	rec.Rows = len(out.Rows)
 	minDisabled, minEnabled := time.Duration(-1), time.Duration(-1)
 	for r := 0; r < rounds; r++ {
 		start := time.Now()
 		if _, err := plain.Run(ctx, src); err != nil {
-			return rec, err
+			return err
 		}
 		if d := time.Since(start); minDisabled < 0 || d < minDisabled {
 			minDisabled = d
 		}
 		start = time.Now()
 		if _, err := observed.Run(ctx, src); err != nil {
-			return rec, err
+			return err
 		}
 		if d := time.Since(start); minEnabled < 0 || d < minEnabled {
 			minEnabled = d
@@ -164,5 +176,5 @@ func obsOverheadOne(cfg Config, plain, observed *sparqlopt.System, name string, 
 	if rec.DisabledSeconds > 0 {
 		rec.Overhead = rec.EnabledSeconds/rec.DisabledSeconds - 1
 	}
-	return rec, nil
+	return nil
 }

@@ -152,25 +152,40 @@ func PlanCacheBench(cfg Config, jsonPath string) error {
 
 // planCacheOne measures one query cold and warm. The cached rows are
 // compared against an uncached optimize+execute of the same query.
+// Each query runs under its own deadline: a hung query expires its own
+// context and fails its own record, and the remaining queries still
+// run with a full budget.
 func planCacheOne(cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rdf.Dataset,
 	name string, collect plancache.CollectFunc, optimize plancache.OptimizeFunc,
 	optCalls *atomic.Int64, warmRuns int) (PlanCacheRecord, error) {
 	q := lubm.Query(name)
 	rec := PlanCacheRecord{Query: name, Patterns: len(q.Patterns), WarmRuns: warmRuns}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout()+cfg.execTimeout())
+	defer cancel()
+	err := planCacheRun(ctx, cfg, eng, cache, ds, q, name, &rec, collect, optimize, optCalls, warmRuns)
+	if err != nil && ctx.Err() != nil {
+		rec.Error = err.Error()
+		return rec, nil
+	}
+	return rec, err
+}
+
+// planCacheRun is planCacheOne's measured body, bounded by ctx.
+func planCacheRun(ctx context.Context, cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rdf.Dataset,
+	q *sparql.Query, name string, rec *PlanCacheRecord, collect plancache.CollectFunc, optimize plancache.OptimizeFunc,
+	optCalls *atomic.Int64, warmRuns int) error {
 	epoch := ds.Epoch()
 
 	// Uncached baseline rows for the bit-identical check.
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout())
-	defer cancel()
 	base, err := optimize(ctx, q, mustCollect(collect, q))
 	if err != nil {
 		rec.Error = err.Error()
-		return rec, nil
+		return nil
 	}
 	want, err := eng.Execute(ctx, base.Plan, q)
 	if err != nil {
 		rec.Error = err.Error()
-		return rec, nil
+		return nil
 	}
 
 	// Cold: first pass through the cache (miss).
@@ -178,15 +193,15 @@ func planCacheOne(cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rd
 	res, info, err := cache.Optimize(ctx, q, opt.TDAuto, epoch, collect, optimize, nil)
 	rec.ColdPlanSeconds = time.Since(start).Seconds()
 	if err != nil {
-		return rec, err
+		return err
 	}
 	if info.Hit {
-		return rec, fmt.Errorf("first cache pass reported a hit")
+		return fmt.Errorf("first cache pass reported a hit")
 	}
 	rec.EnumeratedJoins = res.Counter.CMDs
 	out, err := eng.Execute(ctx, res.Plan, q)
 	if err != nil {
-		return rec, err
+		return err
 	}
 	rec.ColdTotalSeconds = time.Since(start).Seconds()
 	rec.Rows = len(out.Rows)
@@ -201,19 +216,19 @@ func planCacheOne(cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rd
 		roundStart := time.Now()
 		wq, err := sparql.Parse(src)
 		if err != nil {
-			return rec, err
+			return err
 		}
 		res, info, err := cache.Optimize(ctx, wq, opt.TDAuto, epoch, collect, optimize, nil)
 		if err != nil {
-			return rec, err
+			return err
 		}
 		warmPlan += time.Since(roundStart)
 		if !info.Hit {
-			return rec, fmt.Errorf("warm run %d missed the cache", i)
+			return fmt.Errorf("warm run %d missed the cache", i)
 		}
 		out, err := eng.Execute(ctx, res.Plan, wq)
 		if err != nil {
-			return rec, err
+			return err
 		}
 		warmTotal += time.Since(roundStart)
 		if !rowsEqual(out.Rows, want.Rows) {
@@ -235,7 +250,7 @@ func planCacheOne(cfg Config, eng *engine.Engine, cache *plancache.Cache, ds *rd
 	if rec.WarmTotalSeconds > 0 {
 		rec.TotalSpeedup = rec.ColdTotalSeconds / rec.WarmTotalSeconds
 	}
-	return rec, nil
+	return nil
 }
 
 func mustCollect(collect plancache.CollectFunc, q *sparql.Query) *stats.Stats {

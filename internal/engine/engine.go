@@ -14,6 +14,8 @@ import (
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/resilience"
+	"sparqlopt/internal/resilience/faultinject"
 	"sparqlopt/internal/sparql"
 )
 
@@ -82,6 +84,11 @@ type Result struct {
 	// CacheInfo describes plan-cache behavior when the result came from
 	// a cached serving path (System.Run with WithPlanCache).
 	CacheInfo CacheInfo
+	// Degraded records the serving path's fallback-ladder steps, in
+	// order, when the run was served in degraded mode — e.g.
+	// "optimizer: TD-CMD failed (budget), retried with TD-CMDP" or
+	// "plan cache: lookup failed, bypassed". Empty on a clean run.
+	Degraded []string
 }
 
 // EnumeratedJoins is the number of join operators this run's own
@@ -113,7 +120,23 @@ func (r *Result) String() string {
 		}
 		fmt.Fprintf(&b, " cache=%s", state)
 	}
+	if len(r.Degraded) > 0 {
+		fmt.Fprintf(&b, " DEGRADED[%s]", strings.Join(r.Degraded, "; "))
+	}
 	return b.String()
+}
+
+// ExecEnv carries the per-query resilience hooks of one execution.
+// The zero value disables both: no memory accounting, no fault
+// injection.
+type ExecEnv struct {
+	// Gauge, when non-nil, is charged for every relation the run
+	// materializes (arena capacity, in bytes). A trip fails the run
+	// with a typed *resilience.BudgetError naming the operator.
+	Gauge *resilience.Gauge
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// engine's sites (chaos tests only; nil in production).
+	Faults *faultinject.Set
 }
 
 // Engine executes plans over a partitioned dataset, one goroutine per
@@ -169,6 +192,16 @@ func (e *Engine) SetInstruments(inst *Instruments) { e.inst = inst }
 // Execute runs the plan for q and returns the distinct results
 // projected onto q's SELECT variables (all variables when SELECT *).
 func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*Result, error) {
+	return e.ExecuteEnv(ctx, p, q, ExecEnv{})
+}
+
+// ExecuteEnv is Execute with the query's resilience environment: a
+// memory gauge charged by relation materialization and an optional
+// fault-injection set. A panic anywhere in the execution — the calling
+// goroutine, a per-node worker, a subtree task — is recovered into a
+// typed *resilience.PanicError failing this query only.
+func (e *Engine) ExecuteEnv(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv) (res *Result, err error) {
+	defer resilience.CatchPanic(&err, e.inst.panicRecovered)
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
 	}
@@ -177,7 +210,7 @@ func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*R
 		execStart = time.Now()
 	}
 	var m Metrics
-	parts, trace, err := e.eval(ctx, p, q, &m)
+	parts, trace, err := e.eval(ctx, p, q, env, &m)
 	if err != nil {
 		return nil, err
 	}
@@ -216,9 +249,23 @@ func projectResult(rel *Relation, q *sparql.Query) (*Result, error) {
 
 // eval executes p and returns one relation per node (the distributed
 // intermediate result of paper §II-D) plus the operator's trace.
-func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics) ([]*Relation, *TraceNode, error) {
+func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics) ([]*Relation, *TraceNode, error) {
 	if err := obs.Canceled(ctx, "execute"); err != nil {
 		return nil, nil, err
+	}
+	if d := env.Faults.Delay(faultinject.EngineSlow); d > 0 {
+		// An injected slow operator must stay cancellable: a deadline
+		// firing mid-stall aborts the query like any other timeout.
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil, obs.Canceled(ctx, "execute")
+		case <-t.C:
+		}
+	}
+	if env.Faults.Should(faultinject.EngineBudget) {
+		return nil, nil, &resilience.BudgetError{Site: opName(p.Alg), Requested: 1, Limit: env.Gauge.Used()}
 	}
 	var out []*Relation
 	var err error
@@ -226,13 +273,13 @@ func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, m *Met
 	start := time.Now()
 	switch p.Alg {
 	case plan.Scan:
-		out = e.scan(p.TP, q, m, tr)
+		out, err = e.scan(p.TP, q, env, m, tr)
 	case plan.LocalJoin:
-		out, err = e.localJoin(ctx, p, q, m, tr, &start)
+		out, err = e.localJoin(ctx, p, q, env, m, tr, &start)
 	case plan.BroadcastJoin:
-		out, err = e.broadcastJoin(ctx, p, q, m, tr, &start)
+		out, err = e.broadcastJoin(ctx, p, q, env, m, tr, &start)
 	case plan.RepartitionJoin:
-		out, err = e.repartitionJoin(ctx, p, q, m, tr, &start)
+		out, err = e.repartitionJoin(ctx, p, q, env, m, tr, &start)
 	default:
 		err = fmt.Errorf("engine: unknown operator %v", p.Alg)
 	}
@@ -250,14 +297,24 @@ func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, m *Met
 // forEachBounded runs f(i) for i in [0, n), concurrently up to the
 // engine's parallelism. A task whose slot cannot be acquired runs
 // inline on the submitting goroutine, so recursion through nested
-// operators can never deadlock on the semaphore.
-func (e *Engine) forEachBounded(n int, f func(i int)) {
+// operators can never deadlock on the semaphore. A panicking task —
+// spawned or inline — is recovered into a typed error; the
+// lowest-index error is returned, deterministically.
+func (e *Engine) forEachBounded(n int, f func(i int)) error {
+	run := func(i int) (err error) {
+		defer resilience.CatchPanic(&err, e.inst.panicRecovered)
+		f(i)
+		return nil
+	}
 	if e.sem == nil || n <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			if err := run(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		select {
@@ -267,36 +324,14 @@ func (e *Engine) forEachBounded(n int, f func(i int)) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
-				f(i)
+				errs[i] = run(i)
 			}(i)
 		default:
 			e.inst.inlineTask()
-			f(i)
+			errs[i] = run(i)
 		}
 	}
 	wg.Wait()
-}
-
-// perNode runs f concurrently for every node.
-func (e *Engine) perNode(f func(node int)) {
-	var wg sync.WaitGroup
-	for i := range e.stores {
-		wg.Add(1)
-		go func(node int) {
-			defer wg.Done()
-			f(node)
-		}(i)
-	}
-	wg.Wait()
-}
-
-// perNodeErr runs f concurrently for every node and returns the
-// lowest-numbered node's error, deterministically.
-func (e *Engine) perNodeErr(f func(node int) error) error {
-	errs := make([]error, len(e.stores))
-	e.perNode(func(node int) {
-		errs[node] = f(node)
-	})
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -305,19 +340,48 @@ func (e *Engine) perNodeErr(f func(node int) error) error {
 	return nil
 }
 
-func (e *Engine) scan(tp int, q *sparql.Query, m *Metrics, tr *TraceNode) []*Relation {
+// perNodeErr runs f concurrently for every node — one goroutine per
+// simulated computing node — and returns the lowest-numbered node's
+// error, deterministically. A node goroutine's panic is recovered on
+// that goroutine into a typed *resilience.PanicError attributed to the
+// node, so a poisoned operator fails its query, never the process.
+func (e *Engine) perNodeErr(f func(node int) error) error {
+	errs := make([]error, len(e.stores))
+	var wg sync.WaitGroup
+	for i := range e.stores {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			defer resilience.CatchPanic(&errs[node], e.inst.panicRecovered)
+			errs[node] = f(node)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode) ([]*Relation, error) {
 	bp := bindPattern(e.dict, q.Patterns[tp])
 	out := make([]*Relation, len(e.stores))
 	var scanned int64
-	e.perNode(func(node int) {
+	err := e.perNodeErr(func(node int) error {
 		local := bp
 		var count int64
 		local.scanned = &count
 		out[node] = e.stores[node].match(local)
 		atomic.AddInt64(&scanned, count)
+		return out[node].chargeTo(env.Gauge, "scan")
 	})
+	if err != nil {
+		return nil, err
+	}
 	m.ScannedTriples += scanned
-	return out
+	return out, nil
 }
 
 // evalChildren evaluates the children of p — concurrently when the
@@ -326,15 +390,17 @@ func (e *Engine) scan(tp int, q *sparql.Query, m *Metrics, tr *TraceNode) []*Rel
 // restarting the parent's own-time clock. Every child accumulates
 // into its own Metrics; the merge happens in child order, so totals
 // are independent of the schedule.
-func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([][]*Relation, error) {
+func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([][]*Relation, error) {
 	n := len(p.Children)
 	children := make([][]*Relation, n)
 	traces := make([]*TraceNode, n)
 	metrics := make([]Metrics, n)
 	errs := make([]error, n)
-	e.forEachBounded(n, func(i int) {
-		children[i], traces[i], errs[i] = e.eval(ctx, p.Children[i], q, &metrics[i])
-	})
+	if err := e.forEachBounded(n, func(i int) {
+		children[i], traces[i], errs[i] = e.eval(ctx, p.Children[i], q, env, &metrics[i])
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -351,19 +417,20 @@ func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query
 // localJoin joins the children fragments node by node with no
 // communication; the partitioning guarantees every complete match is
 // co-located (Definition 2).
-func (e *Engine) localJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
-	children, err := e.evalChildren(ctx, p, q, m, tr, start)
+func (e *Engine) localJoin(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+	children, err := e.evalChildren(ctx, p, q, env, m, tr, start)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Relation, len(e.stores))
 	var joined int64
 	err = e.perNodeErr(func(node int) error {
+		env.Faults.PanicIf(faultinject.EnginePanic)
 		rels := make([]*Relation, len(children))
 		for i := range children {
 			rels[i] = children[i][node]
 		}
-		r, err := joinAll(ctx, rels)
+		r, err := joinAll(ctx, env.Gauge, "local_join", rels)
 		if err != nil {
 			return err
 		}
@@ -380,8 +447,8 @@ func (e *Engine) localJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m
 
 // broadcastJoin gathers the k−1 smaller inputs, replicates them to
 // every node, and joins them against the largest input in place.
-func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
-	children, err := e.evalChildren(ctx, p, q, m, tr, start)
+func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+	children, err := e.evalChildren(ctx, p, q, env, m, tr, start)
 	if err != nil {
 		return nil, err
 	}
@@ -408,7 +475,7 @@ func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Quer
 			order = append(order, i)
 		}
 	}
-	e.forEachBounded(len(order), func(oi int) {
+	if err := e.forEachBounded(len(order), func(oi int) {
 		i := order[oi]
 		frags := children[i]
 		// The gather shares the fragments' row storage; no arena copy.
@@ -420,7 +487,9 @@ func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Quer
 		// Every row ships to every node holding the largest input.
 		gathered[i] = g
 		moved[i] = int64(len(g.Rows)) * int64(len(e.stores))
-	})
+	}); err != nil {
+		return nil, err
+	}
 	small := make([]*Relation, 0, len(children)-1)
 	for _, i := range order {
 		bytes := moved[i] * termIDBytes * int64(len(gathered[i].Vars))
@@ -433,10 +502,11 @@ func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Quer
 	out := make([]*Relation, len(e.stores))
 	var joined int64
 	err = e.perNodeErr(func(node int) error {
+		env.Faults.PanicIf(faultinject.EnginePanic)
 		rels := make([]*Relation, 0, len(children))
 		rels = append(rels, children[largest][node])
 		rels = append(rels, small...)
-		r, err := joinAll(ctx, rels)
+		r, err := joinAll(ctx, env.Gauge, "broadcast_join", rels)
 		if err != nil {
 			return err
 		}
@@ -456,8 +526,8 @@ func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Quer
 // collapsing replicas shipped from different source nodes. The
 // per-child scatters are independent and run under the parallelism
 // bound; each scatter polls ctx so huge shuffles stay cancellable.
-func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Query, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
-	children, err := e.evalChildren(ctx, p, q, m, tr, start)
+func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+	children, err := e.evalChildren(ctx, p, q, env, m, tr, start)
 	if err != nil {
 		return nil, err
 	}
@@ -474,9 +544,11 @@ func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Qu
 	shuffled := make([][]*Relation, len(children)) // [child][node]
 	moved := make([]int64, len(children))
 	errs := make([]error, len(children))
-	e.forEachBounded(len(children), func(i int) {
-		shuffled[i], moved[i], errs[i] = e.scatter(ctx, children[i], cols[i])
-	})
+	if err := e.forEachBounded(len(children), func(i int) {
+		shuffled[i], moved[i], errs[i] = e.scatter(ctx, children[i], cols[i], env)
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -492,11 +564,12 @@ func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Qu
 	out := make([]*Relation, n)
 	var joined int64
 	err = e.perNodeErr(func(node int) error {
+		env.Faults.PanicIf(faultinject.EnginePanic)
 		rels := make([]*Relation, len(children))
 		for i := range children {
 			rels[i] = shuffled[i][node]
 		}
-		r, err := joinAll(ctx, rels)
+		r, err := joinAll(ctx, env.Gauge, "repartition_join", rels)
 		if err != nil {
 			return err
 		}
@@ -513,8 +586,10 @@ func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Qu
 
 // scatter hashes one input's rows to their destination nodes. A first
 // counting pass sizes each bucket's arena exactly, the second copies
-// rows; every bucket is deduplicated before the join.
-func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int) ([]*Relation, int64, error) {
+// rows; every bucket is deduplicated before the join. Bucket arenas
+// are charged to the query's gauge before the copy, so a shuffle that
+// would blow the budget fails before materializing.
+func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int, env ExecEnv) ([]*Relation, int64, error) {
 	n := len(e.stores)
 	counts := make([]int, n)
 	for _, f := range frags {
@@ -525,6 +600,9 @@ func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int) ([]*Re
 	buckets := make([]*Relation, n)
 	for b := range buckets {
 		buckets[b] = newRelation(frags[0].Vars, counts[b])
+		if err := buckets[b].chargeTo(env.Gauge, "shuffle"); err != nil {
+			return nil, 0, err
+		}
 	}
 	var moved int64
 	ops := 0

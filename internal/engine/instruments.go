@@ -5,6 +5,7 @@ import (
 
 	"sparqlopt/internal/obs"
 	"sparqlopt/internal/plan"
+	"sparqlopt/internal/resilience"
 )
 
 // opName is the ASCII metric/span name of a plan operator (the plan
@@ -44,6 +45,11 @@ type Instruments struct {
 	// goroutine — the engine's parallelism-utilization signal.
 	ParallelTasks *obs.Counter
 	InlineTasks   *obs.Counter
+	// PanicsRecovered counts worker panics converted into typed
+	// errors. Registered under the shared resilience family, so the
+	// engine's, the optimizer's and the serving path's recoveries
+	// accumulate into one process-wide series.
+	PanicsRecovered *obs.Counter
 
 	opRuns    [4]*obs.Counter
 	opSeconds [4]*obs.Histogram
@@ -66,6 +72,7 @@ func NewInstruments(r *obs.Registry) *Instruments {
 		JoinedRows:       r.Counter("engine_joined_rows_total", "Rows produced by join operators."),
 		ParallelTasks:    r.Counter("engine_parallel_tasks_total", "Subtree tasks run on a parallel worker."),
 		InlineTasks:      r.Counter("engine_inline_tasks_total", "Subtree tasks run inline (semaphore saturated)."),
+		PanicsRecovered:  r.Counter("resilience_panics_recovered_total", resilience.PanicsRecoveredHelp),
 	}
 	for a := plan.Scan; a <= plan.RepartitionJoin; a++ {
 		lbl := obs.Label{Key: "operator", Value: opName(a)}
@@ -115,4 +122,11 @@ func (i *Instruments) inlineTask() {
 		return
 	}
 	i.InlineTasks.Inc()
+}
+
+func (i *Instruments) panicRecovered() {
+	if i == nil {
+		return
+	}
+	i.PanicsRecovered.Inc()
 }

@@ -23,6 +23,7 @@ import (
 
 	"sparqlopt/internal/obs"
 	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/resilience"
 )
 
 // Relation is a set of variable bindings: Rows[i][j] binds Vars[j].
@@ -38,6 +39,36 @@ type Relation struct {
 	// already handed out keep pointing into the old one, which is
 	// correct (just retained until the relation dies).
 	arena []rdf.TermID
+
+	// charged is how many bytes of this relation chargeTo has already
+	// reserved against a memory gauge, so repeated charges (before and
+	// after an append loop grows the arena) only pay the delta.
+	charged int64
+}
+
+// chargeTo reserves this relation's storage footprint — the arena
+// capacity, or the row payload for relations assembled from shared
+// row slices — against the query's memory gauge, attributed to site.
+// Calling it again after growth charges only the increase. A nil
+// gauge is free. Each relation is owned by one goroutine while it is
+// being built and charged, so charged needs no synchronization.
+func (r *Relation) chargeTo(g *resilience.Gauge, site string) error {
+	if g == nil || r == nil {
+		return nil
+	}
+	n := int64(cap(r.arena))
+	if n == 0 {
+		n = int64(len(r.Rows) * len(r.Vars))
+	}
+	delta := n*termIDBytes - r.charged
+	if delta <= 0 {
+		return nil
+	}
+	if err := g.Reserve(site, delta); err != nil {
+		return err
+	}
+	r.charged += delta
+	return nil
 }
 
 // newRelation returns an empty relation with arena capacity for
@@ -265,8 +296,12 @@ func hashJoin(ctx context.Context, a, b *Relation) (*Relation, error) {
 
 // joinAll folds a multiway natural join, greedily preferring inputs
 // that share a variable with the accumulated result so intermediate
-// cross products are avoided whenever the join graph allows.
-func joinAll(ctx context.Context, rels []*Relation) (*Relation, error) {
+// cross products are avoided whenever the join graph allows. Every
+// intermediate it materializes is charged to g under site before the
+// next fold, so a join blowing up mid-chain trips the budget instead
+// of exhausting the process; input relations are never charged here
+// (their producers already did, or they are shared across nodes).
+func joinAll(ctx context.Context, g *resilience.Gauge, site string, rels []*Relation) (*Relation, error) {
 	cur := rels[0]
 	used := make([]bool, len(rels))
 	used[0] = true
@@ -289,6 +324,9 @@ func joinAll(ctx context.Context, rels []*Relation) (*Relation, error) {
 		var err error
 		cur, err = hashJoin(ctx, cur, rels[pick])
 		if err != nil {
+			return nil, err
+		}
+		if err := cur.chargeTo(g, site); err != nil {
 			return nil, err
 		}
 		used[pick] = true

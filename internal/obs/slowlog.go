@@ -26,6 +26,12 @@ type SlowQueryEntry struct {
 	// Cancellations carry their query phase and cause (deadline vs.
 	// manual cancel) via the engine's PhaseError annotations.
 	Err string
+	// Rejected distinguishes admission-control rejections (the system
+	// refused to run the query) from queries that ran and failed.
+	Rejected bool
+	// Degraded lists the fallback-ladder steps a successful query took
+	// (cache bypass, algorithm downgrades); empty for the healthy path.
+	Degraded []string
 	// Phases are the top-level trace phases with their durations.
 	Phases []PhaseTiming
 }
@@ -34,13 +40,19 @@ type SlowQueryEntry struct {
 func (e SlowQueryEntry) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %v %s", e.Time.Format(time.RFC3339), e.Duration.Round(time.Microsecond), e.Algorithm)
-	if e.Err != "" {
+	switch {
+	case e.Rejected:
+		fmt.Fprintf(&b, " REJECTED %q", e.Err)
+	case e.Err != "":
 		fmt.Fprintf(&b, " ERROR %q", e.Err)
-	} else {
+	default:
 		fmt.Fprintf(&b, " rows=%d", e.Rows)
 	}
 	if e.CacheHit {
 		b.WriteString(" cache=hit")
+	}
+	if len(e.Degraded) > 0 {
+		fmt.Fprintf(&b, " DEGRADED[%s]", strings.Join(e.Degraded, "; "))
 	}
 	for _, p := range e.Phases {
 		fmt.Fprintf(&b, " %s=%v", p.Name, p.Dur.Round(time.Microsecond))

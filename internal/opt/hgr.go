@@ -67,6 +67,8 @@ func runHGR(ctx context.Context, in *Input) (*Result, error) {
 		params:  in.Params,
 		opt:     Options{Parallelism: in.Parallelism},
 		inst:    in.Inst,
+		gauge:   in.Gauge,
+		faults:  in.Faults,
 	}
 	p, err := sp.run()
 	if err != nil {

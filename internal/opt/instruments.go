@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sparqlopt/internal/obs"
+	"sparqlopt/internal/resilience"
 )
 
 // Instruments is the optimizer's metrics bundle. It is deliberately
@@ -32,9 +33,14 @@ type Instruments struct {
 	CMDs       *obs.Counter
 	Plans      *obs.Counter
 	Subqueries *obs.Counter
+	// PanicsRecovered counts enumerator worker panics converted into
+	// typed errors. Registered under the shared resilience family, so
+	// the optimizer's, the engine's and the serving path's recoveries
+	// accumulate into one process-wide series.
+	PanicsRecovered *obs.Counter
 
-	runs    [4]*obs.Counter
-	seconds [4]*obs.Histogram
+	runs    [Greedy + 1]*obs.Counter
+	seconds [Greedy + 1]*obs.Histogram
 }
 
 // NewInstruments registers the optimizer's metrics on r and returns
@@ -51,8 +57,9 @@ func NewInstruments(r *obs.Registry) *Instruments {
 		CMDs:              r.Counter("opt_cmds_total", "Connected multi-divisions enumerated."),
 		Plans:             r.Counter("opt_plans_total", "Candidate plans costed."),
 		Subqueries:        r.Counter("opt_subqueries_total", "Distinct subqueries planned."),
+		PanicsRecovered:   r.Counter("resilience_panics_recovered_total", resilience.PanicsRecoveredHelp),
 	}
-	for a := TDCMD; a <= TDAuto; a++ {
+	for a := TDCMD; a <= Greedy; a++ {
 		lbl := obs.Label{Key: "algorithm", Value: a.String()}
 		inst.runs[a] = r.Counter("opt_runs_total", "Optimization runs by concrete algorithm.", lbl)
 		inst.seconds[a] = r.Histogram("opt_run_seconds", "Optimization latency by concrete algorithm.", nil, lbl)
@@ -88,14 +95,21 @@ func (i *Instruments) broadcastSkipped() {
 	i.BroadcastsSkipped.Inc()
 }
 
+func (i *Instruments) panicRecovered() {
+	if i == nil {
+		return
+	}
+	i.PanicsRecovered.Inc()
+}
+
 // recordRun folds one finished run — the concrete algorithm used, its
 // wall time and its search-space counters — into the metrics.
 func (i *Instruments) recordRun(used Algorithm, d time.Duration, c Counter) {
 	if i == nil {
 		return
 	}
-	if used > TDAuto {
-		used = TDAuto
+	if used > Greedy {
+		used = Greedy
 	}
 	i.runs[used].Inc()
 	i.seconds[used].ObserveDuration(d)

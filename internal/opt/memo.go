@@ -5,7 +5,46 @@ import (
 
 	"sparqlopt/internal/bitset"
 	"sparqlopt/internal/plan"
+	"sparqlopt/internal/resilience"
+	"sparqlopt/internal/resilience/faultinject"
 )
+
+// memoEntryBytes approximates the resident cost of one memo entry: the
+// map slot, the future, and the plan node the entry pins. The figure
+// is deliberately round — the budget tracks growth, not bytes-exact
+// heap usage — but it scales with the real driver of optimizer memory,
+// the number of distinct subqueries memoized (exponential in query
+// size for TD-CMD).
+const memoEntryBytes = 192
+
+// chargeMemoEntry reserves one memo entry against the query's budget
+// before the entry is published. On a trip (or an injected OptBudget
+// fault) it fails the run with the typed error and reports false; the
+// caller skips the insert and unwinds.
+func (sp *space) chargeMemoEntry() bool {
+	if sp.faults.Should(faultinject.OptBudget) {
+		sp.fail(&resilience.BudgetError{Site: "memo", Requested: memoEntryBytes,
+			Used: sp.memoCharged.Load(), Limit: sp.memoCharged.Load()})
+		return false
+	}
+	if sp.gauge == nil {
+		return true
+	}
+	if err := sp.gauge.Reserve("memo", memoEntryBytes); err != nil {
+		sp.fail(err)
+		return false
+	}
+	sp.memoCharged.Add(memoEntryBytes)
+	return true
+}
+
+// releaseMemo returns every memo reservation of this run: the memo is
+// dropped when enumeration ends, win or lose.
+func (sp *space) releaseMemo() {
+	if n := sp.memoCharged.Swap(0); n > 0 {
+		sp.gauge.Release(n)
+	}
+}
 
 // The parallel enumerator replaces the sequential plain-map memo with
 // a lock-striped table of plan futures. Each distinct subquery is

@@ -10,6 +10,8 @@ import (
 	"sparqlopt/internal/partition"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/resilience"
+	"sparqlopt/internal/resilience/faultinject"
 	"sparqlopt/internal/sparql"
 	"sparqlopt/internal/stats"
 )
@@ -28,6 +30,12 @@ const (
 	HGRTDCMD
 	// TDAuto picks one of the above via the decision tree of §IV-C.
 	TDAuto
+	// Greedy is the left-deep greedy baseline: seed with the smallest
+	// pattern, repeatedly join the smallest connected one. It is not
+	// from the paper — it exists as the last rung of the serving path's
+	// degradation ladder, because it needs no enumeration, no memo and
+	// (almost) no memory, so it cannot trip a budget or time out.
+	Greedy
 )
 
 // String returns the paper's name for the algorithm.
@@ -39,6 +47,8 @@ func (a Algorithm) String() string {
 		return "TD-CMDP"
 	case HGRTDCMD:
 		return "HGR-TD-CMD"
+	case Greedy:
+		return "Greedy-LD"
 	default:
 		return "TD-Auto"
 	}
@@ -76,6 +86,13 @@ type Input struct {
 	// memo hit rate, pruning tallies). Unlike Counter, its values are
 	// schedule-dependent; nil disables recording entirely.
 	Inst *Instruments
+	// Gauge, when non-nil, charges the enumerator's memo growth against
+	// the query's memory budget; a trip fails the run with a typed
+	// *resilience.BudgetError. Nil disables accounting.
+	Gauge *resilience.Gauge
+	// Faults, when non-nil, arms deterministic fault injection inside
+	// the enumerator (chaos tests only; nil in production).
+	Faults *faultinject.Set
 }
 
 // Result is the outcome of an optimization run.
@@ -126,6 +143,8 @@ func dispatch(ctx context.Context, in *Input, algo Algorithm) (*Result, error) {
 		return runHGR(ctx, in)
 	case TDAuto:
 		return runAuto(ctx, in)
+	case Greedy:
+		return runGreedy(ctx, in)
 	}
 	return nil, fmt.Errorf("opt: unknown algorithm %d", algo)
 }
@@ -197,6 +216,8 @@ func identitySpace(ctx context.Context, in *Input, o Options) *space {
 		opt:     o,
 		counter: &counters{},
 		inst:    in.Inst,
+		gauge:   in.Gauge,
+		faults:  in.Faults,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sparqlopt/internal/obs"
+	"sparqlopt/internal/resilience/faultinject"
 )
 
 // RunSettings is the resolved per-call configuration of one serving
@@ -23,6 +24,13 @@ type RunSettings struct {
 	// NoCache bypasses the plan cache for this call (the plan is still
 	// optimized, just neither looked up nor stored).
 	NoCache bool
+	// OptTimeout, when positive, bounds plan optimization alone (not
+	// execution). A timeout here is degradable: the serving path falls
+	// down its ladder to a cheaper algorithm instead of failing.
+	OptTimeout time.Duration
+	// Faults, when non-nil, arms the call's deterministic fault
+	// injection (chaos tests only; nil in production).
+	Faults *faultinject.Set
 }
 
 // RunOption configures one serving call.

@@ -12,6 +12,8 @@ import (
 	"sparqlopt/internal/obs"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/resilience"
+	"sparqlopt/internal/resilience/faultinject"
 )
 
 // Options are the pruning rules of TD-CMDP (§IV-A) plus the
@@ -88,6 +90,13 @@ type space struct {
 	// Memo hit/miss splits and pruning tallies are schedule-dependent,
 	// so they flow here rather than into the deterministic counters.
 	inst *Instruments
+	// gauge charges memo growth against the query's memory budget
+	// (nil = unlimited); faults arms deterministic fault injection
+	// (nil in production). memoCharged tracks what this run reserved
+	// so releaseMemo can return it when the memo dies with the run.
+	gauge       *resilience.Gauge
+	faults      *faultinject.Set
+	memoCharged atomic.Int64
 
 	// leaves caches the leaf plan of every unit: leaf plans are pure
 	// functions of the unit, and localPlan/bestPlanGen ask for the
@@ -176,16 +185,7 @@ func (sp *space) run() (*plan.Node, error) {
 		return nil, err // honor already-expired contexts before fanning out
 	}
 	sp.buildLeaves()
-	var p *plan.Node
-	w := &worker{sp: sp}
-	if sp.parallelism() > 1 {
-		sp.pmemo = newMemoTable()
-		sp.pool = newPool(sp.parallelism())
-		p = sp.bestPar(all, false, w)
-	} else {
-		sp.memo = make(map[bitset.TPSet]*plan.Node)
-		p = sp.best(all, false, w)
-	}
+	p := sp.enumerate(all)
 	if sp.err != nil {
 		return nil, sp.err
 	}
@@ -193,6 +193,30 @@ func (sp *space) run() (*plan.Node, error) {
 		return nil, fmt.Errorf("opt: no plan found")
 	}
 	return p, nil
+}
+
+// enumerate runs the memoized recursion with the run's panic firewall:
+// a panic on the enumerating goroutine (pool workers carry their own
+// recovery in flush) becomes a typed *resilience.PanicError failing
+// this run only. The memo's budget charges are returned on every exit —
+// the memo dies with the run even though the winning plan survives it.
+func (sp *space) enumerate(all bitset.TPSet) (p *plan.Node) {
+	defer sp.releaseMemo()
+	defer func() {
+		if r := recover(); r != nil {
+			sp.fail(resilience.NewPanicError(r))
+			sp.inst.panicRecovered()
+			p = nil
+		}
+	}()
+	w := &worker{sp: sp}
+	if sp.parallelism() > 1 {
+		sp.pmemo = newMemoTable()
+		sp.pool = newPool(sp.parallelism())
+		return sp.bestPar(all, false, w)
+	}
+	sp.memo = make(map[bitset.TPSet]*plan.Node)
+	return sp.best(all, false, w)
 }
 
 // buildLeaves materializes the per-unit leaf plans once.
@@ -216,7 +240,7 @@ func (sp *space) best(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node
 		return nil
 	}
 	p := sp.bestPlanGen(s, inheritedLocal, w)
-	if !sp.stopped.Load() {
+	if !sp.stopped.Load() && sp.chargeMemoEntry() {
 		sp.memo[s] = p
 	}
 	return p
@@ -248,6 +272,7 @@ func (sp *space) bestPlanGen(s bitset.TPSet, inheritedLocal bool, w *worker) *pl
 		if w.cancelled() {
 			return false
 		}
+		sp.faults.PanicIf(faultinject.OptPanic)
 		cmds++
 		children = children[:0]
 		for _, part := range cmd.Parts {
@@ -298,18 +323,23 @@ func (sp *space) bestCandidate(children []*plan.Node, out float64, plans *int64)
 // run; whether a given subquery is local is a pure function of the
 // set (Lemma 4), so the winning claimant's inheritedLocal flag cannot
 // change the outcome.
-func (sp *space) bestPar(s bitset.TPSet, inheritedLocal bool, w *worker) *plan.Node {
+func (sp *space) bestPar(s bitset.TPSet, inheritedLocal bool, w *worker) (p *plan.Node) {
 	f, owner := sp.pmemo.claim(s)
 	if !owner {
 		sp.inst.memoHit()
 		return f.wait()
 	}
 	sp.inst.memoMiss()
-	var p *plan.Node
-	if !w.cancelled() {
-		p = sp.bestPlanGenPar(s, inheritedLocal, w)
+	// The owner must resolve its future on every exit — including a
+	// panic unwinding through this frame — or the waiters deadlock. The
+	// recovery itself happens further up (enumerate / flush); here we
+	// only guarantee the wake-up, publishing whatever p holds (nil when
+	// unwinding or cancelled).
+	defer func() { f.resolve(p) }()
+	if !sp.chargeMemoEntry() || w.cancelled() {
+		return nil
 	}
-	f.resolve(p)
+	p = sp.bestPlanGenPar(s, inheritedLocal, w)
 	return p
 }
 
@@ -365,6 +395,16 @@ func (sp *space) bestPlanGenPar(s bitset.TPSet, inheritedLocal bool, w *worker) 
 		wg.Add(1)
 		sp.pool.submit(func() {
 			defer wg.Done()
+			// Recover here — inside the submitted closure — so a panic
+			// is caught whether the batch ran on a pool goroutine or
+			// inline on the enumerating one. The run fails with a typed
+			// error; the sibling workers see stopped and drain.
+			defer func() {
+				if r := recover(); r != nil {
+					sp.fail(resilience.NewPanicError(r))
+					sp.inst.panicRecovered()
+				}
+			}()
 			sp.costBatch(b, local, out, red)
 			sp.pool.putBatch(b)
 		})
@@ -399,6 +439,7 @@ func (sp *space) costBatch(b *cmdBatch, local bool, out float64, red *bestReduce
 		if w.cancelled() {
 			break
 		}
+		sp.faults.PanicIf(faultinject.OptPanic)
 		parts := b.partsOf(i)
 		children = children[:0]
 		ok := true

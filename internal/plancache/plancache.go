@@ -52,6 +52,12 @@ import (
 // contend, few enough that the table stays small.
 const numShards = 16
 
+// maxWaiterRetries bounds how many failed owners a singleflight waiter
+// will outlive before surfacing the last owner's error. Each retry
+// either claims ownership (and optimizes itself) or queues behind a
+// newer owner, so repeated trips mean the shape itself keeps failing.
+const maxWaiterRetries = 3
+
 // CollectFunc computes fresh per-pattern statistics for q.
 type CollectFunc func(q *sparql.Query) (*stats.Stats, error)
 
@@ -79,6 +85,18 @@ type Counters struct {
 	StatsHits   int64
 	StatsMisses int64
 }
+
+// LookupError marks a failure of the cache machinery itself — as
+// opposed to a failure of the optimization it was asked to run. The
+// serving path treats it as degradable: it bypasses the cache and
+// optimizes the query directly instead of failing it.
+type LookupError struct {
+	Cause error
+}
+
+func (e *LookupError) Error() string { return "plancache: lookup failed: " + e.Cause.Error() }
+
+func (e *LookupError) Unwrap() error { return e.Cause }
 
 // Info describes how the cache treated one Optimize call.
 type Info struct {
@@ -289,30 +307,54 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 		return res, Info{Epoch: epoch}, err
 	}
 
-	e.mu.Lock()
-	e.syncEpoch(epoch, c)
-	if s, ok := e.plans[algo]; ok {
+	var (
+		s      *slot
+		shared bool
+	)
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		e.syncEpoch(epoch, c)
+		cur, ok := e.plans[algo]
+		if !ok {
+			// This goroutine owns the optimization for (fingerprint, algo).
+			s = &slot{done: make(chan struct{})}
+			e.plans[algo] = s
+			break // e.mu still held; released below after the cstats read
+		}
 		e.mu.Unlock()
-		shared := false
 		select {
-		case <-s.done:
+		case <-cur.done:
 		default:
 			shared = true
 			c.waits.Add(1)
 			select {
-			case <-s.done:
+			case <-cur.done:
 			case <-ctx.Done():
 				lookup.SetAttr("outcome", "canceled")
 				lookup.End()
-				return nil, Info{}, obs.Canceled(ctx, "cache_lookup")
+				return nil, Info{Shared: shared}, obs.Canceled(ctx, "cache_lookup")
 			}
 		}
-		if s.err != nil {
-			// The owner failed and removed the slot; surface its error
-			// (fresh calls will retry the optimization).
-			lookup.SetAttr("outcome", "error")
-			lookup.End()
-			return nil, Info{Epoch: epoch}, s.err
+		if cur.err != nil {
+			// The owner failed — it may have been canceled, tripped its
+			// budget, or panicked — and fail() already unpublished the
+			// slot. Its private failure must not poison the fingerprint
+			// for everyone who queued behind it: loop back to the claim
+			// so one of the waiters becomes the new owner and optimizes
+			// under its own context. Only give up after several
+			// collective failures (the shape itself is likely broken),
+			// or when our own context expired.
+			if err := obs.Canceled(ctx, "cache_lookup"); err != nil {
+				lookup.SetAttr("outcome", "canceled")
+				lookup.End()
+				return nil, Info{Shared: shared}, err
+			}
+			if attempt >= maxWaiterRetries {
+				lookup.SetAttr("outcome", "error")
+				lookup.End()
+				return nil, Info{Epoch: epoch, Shared: shared}, cur.err
+			}
+			continue
 		}
 		c.hits.Add(1)
 		lookup.SetAttr("outcome", "hit")
@@ -321,16 +363,12 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 		}
 		lookup.End()
 		return &opt.Result{
-			Plan:    remapPlan(s.plan, canon.PatternOf, canon.VarOf),
-			Counter: s.counter,
-			Used:    s.used,
-			Groups:  remapGroups(s.groups, canon.PatternOf),
+			Plan:    remapPlan(cur.plan, canon.PatternOf, canon.VarOf),
+			Counter: cur.counter,
+			Used:    cur.used,
+			Groups:  remapGroups(cur.groups, canon.PatternOf),
 		}, Info{Hit: true, Shared: shared, Epoch: epoch}, nil
 	}
-
-	// This goroutine owns the optimization for (fingerprint, algo).
-	s := &slot{done: make(chan struct{})}
-	e.plans[algo] = s
 	var st *stats.Stats
 	if e.cstats != nil {
 		st = e.cstats.Remap(canon.CanonOf, canon.VarOf)
@@ -352,7 +390,7 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 		stSpan.End()
 		if err != nil {
 			c.fail(e, algo, s, err)
-			return nil, Info{Epoch: epoch}, err
+			return nil, Info{Epoch: epoch, Shared: shared}, err
 		}
 		st = qs
 		snap := qs.Remap(canon.PatternOf, canon.CanonVar)
@@ -368,14 +406,14 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 	enumSpan.End()
 	if err != nil {
 		c.fail(e, algo, s, err)
-		return nil, Info{Epoch: epoch}, err
+		return nil, Info{Epoch: epoch, Shared: shared}, err
 	}
 	s.plan = remapPlan(res.Plan, canon.CanonOf, canon.CanonVar)
 	s.counter = res.Counter
 	s.used = res.Used
 	s.groups = remapGroups(res.Groups, canon.CanonOf)
 	close(s.done)
-	return res, Info{Epoch: epoch}, nil
+	return res, Info{Epoch: epoch, Shared: shared}, nil
 }
 
 // fail resolves s with err and unpublishes it so later calls retry.

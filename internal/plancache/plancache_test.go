@@ -2,10 +2,12 @@ package plancache
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/plan"
@@ -261,6 +263,133 @@ func TestOwnerErrorIsRetriable(t *testing.T) {
 	_, info = h.serve(t, c, chainQuery, 1)
 	if !info.Hit {
 		t.Fatal("no hit after successful retry")
+	}
+}
+
+// An owner canceled mid-optimization must not poison the singleflight
+// slot: every waiter queued behind it retries, exactly one becomes the
+// new owner and optimizes, and the rest are served its plan.
+func TestOwnerCanceledDoesNotPoisonSlot(t *testing.T) {
+	h := &harness{ds: testDataset()}
+	c := New(64)
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	defer cancelOwner()
+	ownerIn := make(chan struct{})
+	ownerDone := make(chan error, 1)
+	go func() {
+		q := sparql.MustParse(chainQuery)
+		// The owner's optimize blocks until its context dies — a client
+		// that walked away mid-optimization.
+		_, _, err := c.Optimize(ownerCtx, q, opt.TDCMD, 1, h.collect,
+			func(ctx context.Context, _ *sparql.Query, _ *stats.Stats) (*opt.Result, error) {
+				close(ownerIn)
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}, nil)
+		ownerDone <- err
+	}()
+	<-ownerIn
+	const n = 8
+	var wg sync.WaitGroup
+	infos := make([]Info, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := sparql.MustParse(chainQuery)
+			res, info, err := c.Optimize(context.Background(), q, opt.TDCMD, 1, h.collect, h.optimize, nil)
+			infos[i], errs[i] = info, err
+			if err == nil {
+				errs[i] = res.Plan.Validate()
+			}
+		}(i)
+	}
+	// Wait until every waiter is parked on the doomed owner's slot, so
+	// the cancellation genuinely exercises the wake-and-retry path.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Counters().SingleflightWaits < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters queued", c.Counters().SingleflightWaits, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelOwner()
+	if err := <-ownerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v (owner cancellation leaked to a waiter)", i, err)
+		}
+	}
+	if got := h.optimizes.Load(); got != 1 {
+		t.Fatalf("optimizer ran %d times after owner cancellation, want 1 (one waiter re-owns)", got)
+	}
+	for i, info := range infos {
+		if !info.Shared {
+			t.Fatalf("waiter %d not marked Shared: %+v", i, info)
+		}
+	}
+	// The fingerprint is healthy: the next call is a plain hit.
+	if _, info := h.serve(t, c, chainQuery, 1); !info.Hit {
+		t.Fatal("no hit after waiter re-owned the optimization")
+	}
+}
+
+// Waiters whose own context dies while parked still fail with their
+// context error, and repeated owner failures eventually surface the
+// owner error instead of retrying forever.
+func TestWaiterRetryBounds(t *testing.T) {
+	h := &harness{ds: testDataset()}
+	c := New(64)
+	boom := fmt.Errorf("boom")
+	failing := func(context.Context, *sparql.Query, *stats.Stats) (*opt.Result, error) { return nil, boom }
+	// Sequential calls each become the owner (the failed slot is
+	// unpublished every time), so no retry bound applies to them.
+	for i := 0; i < 2; i++ {
+		q := sparql.MustParse(chainQuery)
+		if _, _, err := c.Optimize(context.Background(), q, opt.TDCMD, 1, h.collect, failing, nil); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err %v, want boom", i, err)
+		}
+	}
+	// A waiter whose own context is dead surfaces that — not anything
+	// about the healthy owner it would otherwise have queued behind.
+	h.gate = make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		q := sparql.MustParse(chainQuery)
+		if _, _, err := c.Optimize(context.Background(), q, opt.TDCMD, 1, h.collect, h.optimize, nil); err != nil {
+			t.Errorf("gated owner: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for h.optimizes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gated owner never reached the optimizer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := sparql.MustParse(chainQuery)
+	if _, _, err := c.Optimize(ctx, q, opt.TDCMD, 1, h.collect, h.optimize, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired-context waiter: err %v, want context.Canceled", err)
+	}
+	close(h.gate)
+	<-ownerDone
+}
+
+func TestLookupErrorWraps(t *testing.T) {
+	cause := fmt.Errorf("shard offline")
+	le := &LookupError{Cause: cause}
+	if !errors.Is(le, cause) {
+		t.Fatal("LookupError must unwrap to its cause")
+	}
+	if le.Error() == "" || le.Error() == cause.Error() {
+		t.Fatalf("Error() = %q, want wrapped message", le.Error())
 	}
 }
 

@@ -1,0 +1,128 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// firing with a given seed must be a pure function of the hit index.
+func TestDeterministicAcrossSets(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		s := New(seed)
+		s.Arm(OptPanic, 7)
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = s.Should(OptPanic)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at hit %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	// 100 hits, period 7: either 14 or 15 firings depending on phase.
+	if fired < 14 || fired > 15 {
+		t.Fatalf("fired %d times in 100 hits with period 7", fired)
+	}
+}
+
+func TestSeedShiftsPhase(t *testing.T) {
+	first := func(seed int64) int {
+		s := New(seed)
+		s.Arm(EnginePanic, 50)
+		for i := 0; i < 50; i++ {
+			if s.Should(EnginePanic) {
+				return i
+			}
+		}
+		return -1
+	}
+	// Some pair among a handful of seeds must differ in phase.
+	base := first(1)
+	for seed := int64(2); seed < 10; seed++ {
+		if first(seed) != base {
+			return
+		}
+	}
+	t.Fatal("9 different seeds all produced the same phase")
+}
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	if s.Should(OptPanic) {
+		t.Fatal("nil set fired")
+	}
+	if s.Delay(EngineSlow) != 0 {
+		t.Fatal("nil set delayed")
+	}
+	if s.Fired(OptPanic) != 0 || s.Hits(OptPanic) != 0 {
+		t.Fatal("nil set counted")
+	}
+	s.Disarm(OptPanic) // must not panic
+	s.PanicIf(OptPanic)
+}
+
+func TestLimit(t *testing.T) {
+	s := New(1)
+	s.ArmN(OptBudget, 1, 3)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if s.Should(OptBudget) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d, want limit 3", fired)
+	}
+	if s.Fired(OptBudget) != 3 {
+		t.Fatalf("Fired = %d, want 3", s.Fired(OptBudget))
+	}
+	if s.Hits(OptBudget) != 10 {
+		t.Fatalf("Hits = %d, want 10", s.Hits(OptBudget))
+	}
+}
+
+func TestDelay(t *testing.T) {
+	s := New(3)
+	s.ArmDelay(EngineSlow, 1, 5*time.Millisecond)
+	if d := s.Delay(EngineSlow); d != 5*time.Millisecond {
+		t.Fatalf("delay = %v, want 5ms", d)
+	}
+	if d := s.Delay(CacheLookup); d != 0 {
+		t.Fatalf("unarmed site delayed %v", d)
+	}
+}
+
+func TestPanicIfCarriesSite(t *testing.T) {
+	s := New(9)
+	s.Arm(EnginePanic, 1)
+	defer func() {
+		r := recover()
+		inj, ok := r.(Injected)
+		if !ok || inj.Site != EnginePanic {
+			t.Fatalf("recovered %v (%T), want Injected{EnginePanic}", r, r)
+		}
+	}()
+	s.PanicIf(EnginePanic)
+	t.Fatal("PanicIf did not panic")
+}
+
+func TestDisarm(t *testing.T) {
+	s := New(5)
+	s.Arm(CacheLookup, 1)
+	if !s.Should(CacheLookup) {
+		t.Fatal("armed site did not fire at period 1")
+	}
+	s.Disarm(CacheLookup)
+	if s.Should(CacheLookup) {
+		t.Fatal("disarmed site fired")
+	}
+}

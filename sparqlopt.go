@@ -35,6 +35,7 @@ package sparqlopt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -49,6 +50,8 @@ import (
 	"sparqlopt/internal/plancache"
 	"sparqlopt/internal/querygraph"
 	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/resilience"
+	"sparqlopt/internal/resilience/faultinject"
 	"sparqlopt/internal/sparql"
 	"sparqlopt/internal/stats"
 )
@@ -91,6 +94,49 @@ type (
 	// interrupted; errors.Is(err, context.Canceled/DeadlineExceeded)
 	// still works through it.
 	PhaseError = obs.PhaseError
+	// OverloadError is the typed rejection of admission control; it
+	// matches ErrOverloaded and carries a RetryAfter hint.
+	OverloadError = resilience.OverloadError
+	// BudgetError is the typed failure of a memory-budget trip; it
+	// matches ErrBudgetExceeded and names the operator or phase that
+	// asked for the memory.
+	BudgetError = resilience.BudgetError
+	// PanicError is a worker panic recovered into an error, stack
+	// included. The panicking query fails; the process survives.
+	PanicError = resilience.PanicError
+	// FaultSet is a deterministic fault-injection plan for chaos tests:
+	// armed sites fire as a pure function of (seed, site, hit count).
+	FaultSet = faultinject.Set
+)
+
+// Typed-failure sentinels of the resilient serving path, for errors.Is.
+var (
+	// ErrOverloaded matches admission-control rejections.
+	ErrOverloaded = resilience.ErrOverloaded
+	// ErrBudgetExceeded matches memory-budget trips.
+	ErrBudgetExceeded = resilience.ErrBudgetExceeded
+)
+
+// NewFaultSet returns a deterministic fault-injection plan seeded with
+// seed; arm sites on it and pass it to a call with WithFaultInjection.
+// See the Fault* site constants for where faults can fire.
+func NewFaultSet(seed int64) *FaultSet { return faultinject.New(seed) }
+
+// Fault-injection sites accepted by FaultSet.Arm and friends.
+const (
+	// FaultOptPanic panics inside an optimizer enumeration worker.
+	FaultOptPanic = faultinject.OptPanic
+	// FaultOptBudget forces a memo budget trip during enumeration.
+	FaultOptBudget = faultinject.OptBudget
+	// FaultEnginePanic panics inside an engine node worker.
+	FaultEnginePanic = faultinject.EnginePanic
+	// FaultEngineSlow stalls an operator (cancellably) by an armed delay.
+	FaultEngineSlow = faultinject.EngineSlow
+	// FaultEngineBudget forces a budget trip at an engine operator.
+	FaultEngineBudget = faultinject.EngineBudget
+	// FaultCacheLookup fails the plan-cache lookup (the serving path
+	// degrades to a cache bypass).
+	FaultCacheLookup = faultinject.CacheLookup
 )
 
 // The optimization algorithms of the paper.
@@ -103,6 +149,9 @@ const (
 	HGRTDCMD = opt.HGRTDCMD
 	// TDAuto picks among the above via the decision tree of §IV-C.
 	TDAuto = opt.TDAuto
+	// Greedy is the left-deep greedy baseline — the last rung of the
+	// degradation ladder: near-zero optimization cost, no optimality.
+	Greedy = opt.Greedy
 )
 
 // NewDataset returns an empty dataset.
@@ -153,6 +202,22 @@ func WithoutCache() RunOption {
 	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.NoCache = true })
 }
 
+// WithOptimizerTimeout bounds plan optimization alone (statistics and
+// enumeration), not execution. Unlike WithDeadline, expiry here is
+// degradable: the serving path retries down its fallback ladder
+// (TD-CMDP, then the greedy baseline) instead of failing the query,
+// and ExecResult.Degraded records what happened.
+func WithOptimizerTimeout(d time.Duration) RunOption {
+	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.OptTimeout = d })
+}
+
+// WithFaultInjection arms deterministic fault injection for one call —
+// the chaos-testing hook. A nil set is a no-op. Production callers
+// never pass this; the sites cost one nil check each when disarmed.
+func WithFaultInjection(f *FaultSet) RunOption {
+	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.Faults = f })
+}
+
 // System is a partitioned dataset ready to optimize and execute
 // queries — the in-process analogue of the paper's prototype cluster.
 type System struct {
@@ -166,6 +231,10 @@ type System struct {
 	cache       *plancache.Cache // nil = caching disabled
 	obs         *obsState        // nil = observability disabled
 	optInst     *opt.Instruments // nil when observability is disabled
+
+	adm     *resilience.Admission   // nil = admission control disabled
+	budget  *resilience.Budget      // nil = memory budgets disabled
+	resInst *resilience.Instruments // nil when observability is disabled
 }
 
 // obsState bundles the observability wiring of one System: the metrics
@@ -182,13 +251,17 @@ type obsState struct {
 type Option func(*openConfig)
 
 type openConfig struct {
-	method      Method
-	params      CostParams
-	nodes       int
-	sampleRate  float64
-	parallelism int
-	planCache   int
-	obs         *obsConfig
+	method        Method
+	params        CostParams
+	nodes         int
+	sampleRate    float64
+	parallelism   int
+	planCache     int
+	maxConcurrent int
+	maxQueued     int
+	memPerQuery   int64
+	memTotal      int64
+	obs           *obsConfig
 }
 
 type obsConfig struct {
@@ -226,6 +299,38 @@ func WithParallelism(p int) Option { return func(c *openConfig) { c.parallelism 
 // suboptimal for a query whose constants are much more or less
 // selective than those of the run that produced the template.
 func WithPlanCache(n int) Option { return func(c *openConfig) { c.planCache = n } }
+
+// WithAdmissionControl gates the serving path (Run/RunQuery): at most
+// maxConcurrent queries execute at once, up to maxQueued more wait
+// FIFO for a slot, and everything beyond that fails fast with a typed
+// *OverloadError (matching ErrOverloaded) carrying a retry-after hint.
+// Queueing is deadline-aware: a query whose context is already expired
+// — or expires while queued — is never admitted. maxConcurrent <= 0
+// disables admission control (the default).
+func WithAdmissionControl(maxConcurrent, maxQueued int) Option {
+	return func(c *openConfig) {
+		c.maxConcurrent = maxConcurrent
+		c.maxQueued = maxQueued
+	}
+}
+
+// WithMemoryBudget bounds the memory the system materializes:
+// perQuery bytes per running query, total bytes across all concurrent
+// queries (either may be 0 = unlimited). The engine's relation arenas
+// and the optimizer's memo reserve against the budget before
+// allocating; a reservation that would exceed a limit fails the query
+// with a typed *BudgetError (matching ErrBudgetExceeded) naming the
+// operator or phase — and, when the trip happened during optimization,
+// the serving path first retries down its fallback ladder. Accounting
+// is approximate (arena capacities and memo entries, not every byte),
+// but it is charged before allocation, so trips abort queries, not the
+// process.
+func WithMemoryBudget(perQuery, total int64) Option {
+	return func(c *openConfig) {
+		c.memPerQuery = perQuery
+		c.memTotal = total
+	}
+}
 
 // WithSampledStats makes Optimize collect statistics from a
 // systematic sample of the dataset instead of full scans — the
@@ -297,6 +402,10 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		placement:   placement,
 		engine:      eng,
 		cache:       plancache.New(cfg.planCache),
+		budget:      resilience.NewBudget(cfg.memPerQuery, cfg.memTotal),
+	}
+	if cfg.maxConcurrent > 0 {
+		s.adm = resilience.NewAdmission(cfg.maxConcurrent, cfg.maxQueued)
 	}
 	if cfg.obs != nil {
 		r := cfg.obs.registry
@@ -318,6 +427,9 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		s.optInst = opt.NewInstruments(r)
 		eng.SetInstruments(engine.NewInstruments(r))
 		s.cache.RegisterMetrics(r)
+		s.resInst = resilience.NewInstruments(r)
+		s.resInst.ObserveAdmission(s.adm)
+		s.resInst.ObserveBudget(s.budget)
 	}
 	return s, nil
 }
@@ -389,24 +501,30 @@ func (s *System) OptimizeQuery(ctx context.Context, q *Query, opts ...RunOption)
 			set.TraceSink(tr)
 		}()
 	}
-	return s.optimizeTraced(ctx, q, set.Algorithm, tr)
+	g := s.budget.NewGauge()
+	defer g.Reset()
+	return s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr)
 }
 
 // optimizeTraced is the uncached optimization path: collect statistics
-// and enumerate, each under its own trace phase.
-func (s *System) optimizeTraced(ctx context.Context, q *Query, algo Algorithm, tr *obs.Trace) (*OptimizeResult, error) {
+// and enumerate, each under its own trace phase. The enumeration alone
+// runs under set.OptTimeout when one is configured; memo growth charges
+// against g.
+func (s *System) optimizeTraced(ctx context.Context, q *Query, algo Algorithm, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace) (*OptimizeResult, error) {
 	sp := tr.Span("stats")
 	st, err := s.collect(q)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	in, err := s.inputWithStats(q, st)
+	in, err := s.inputWithStats(q, st, set, g)
 	if err != nil {
 		return nil, err
 	}
 	sp = tr.Span("enumerate")
-	res, err := opt.Optimize(ctx, in, algo)
+	octx, ocancel := withDeadline(ctx, set.OptTimeout)
+	res, err := opt.Optimize(octx, in, algo)
+	ocancel()
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -433,7 +551,7 @@ func (s *System) collect(q *Query) (*stats.Stats, error) {
 // and uncached serving paths funnel through, so a query is parsed and
 // its views are built exactly once per Run, and the optimizer's
 // instruments are wired everywhere or nowhere.
-func (s *System) inputWithStats(q *Query, st *stats.Stats) (*opt.Input, error) {
+func (s *System) inputWithStats(q *Query, st *stats.Stats, set opt.RunSettings, g *resilience.Gauge) (*opt.Input, error) {
 	views, err := querygraph.Build(q)
 	if err != nil {
 		return nil, err
@@ -442,7 +560,11 @@ func (s *System) inputWithStats(q *Query, st *stats.Stats) (*opt.Input, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &opt.Input{Query: q, Views: views, Est: est, Params: s.params, Method: s.method, Parallelism: s.parallelism, Inst: s.optInst}, nil
+	return &opt.Input{
+		Query: q, Views: views, Est: est,
+		Params: s.params, Method: s.method, Parallelism: s.parallelism,
+		Inst: s.optInst, Gauge: g, Faults: set.Faults,
+	}, nil
 }
 
 // Execute runs a previously optimized plan on the simulated cluster.
@@ -473,6 +595,23 @@ func withDeadline(ctx context.Context, d time.Duration) (context.Context, contex
 	return context.WithTimeout(ctx, d)
 }
 
+// admit passes the call through admission control (a no-op returning
+// a no-op release when admission is disabled).
+func (s *System) admit(ctx context.Context) (func(), error) {
+	if s.adm == nil {
+		return func() {}, nil
+	}
+	release, err := s.adm.Acquire(ctx, 1)
+	if err != nil {
+		if errors.Is(err, resilience.ErrOverloaded) {
+			s.resInst.AdmissionRejected()
+		}
+		return nil, err
+	}
+	s.resInst.AdmissionAccepted()
+	return release, nil
+}
+
 // serve is the serving path behind Run and RunQuery. Exactly one of
 // src and q is set by the caller. When neither observability nor a
 // trace sink is active it falls through to the plain pipeline without
@@ -481,8 +620,12 @@ func (s *System) serve(ctx context.Context, src string, q *Query, set opt.RunSet
 	ctx, cancel := withDeadline(ctx, set.Deadline)
 	defer cancel()
 	if s.obs == nil && set.TraceSink == nil {
+		release, err := s.admit(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		if q == nil {
-			var err error
 			if q, err = sparql.Parse(src); err != nil {
 				return nil, err
 			}
@@ -523,9 +666,11 @@ func (s *System) serveObserved(ctx context.Context, src string, q *Query, set op
 				}
 				if err != nil {
 					e.Err = err.Error()
+					e.Rejected = errors.Is(err, resilience.ErrOverloaded)
 				} else {
 					e.Rows = len(out.Rows)
 					e.CacheHit = out.CacheInfo.Hit
+					e.Degraded = out.Degraded
 				}
 				s.obs.slowLog.Record(e)
 			}
@@ -534,6 +679,11 @@ func (s *System) serveObserved(ctx context.Context, src string, q *Query, set op
 			set.TraceSink(tr)
 		}
 	}()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if q == nil {
 		sp := tr.Span("parse")
 		q, err = sparql.Parse(src)
@@ -546,14 +696,17 @@ func (s *System) serveObserved(ctx context.Context, src string, q *Query, set op
 	return s.dispatch(ctx, q, set, tr)
 }
 
-// dispatch plans and executes one parsed query.
+// dispatch plans and executes one parsed query, degrading down the
+// fallback ladder when planning fails recoverably.
 func (s *System) dispatch(ctx context.Context, q *Query, set opt.RunSettings, tr *obs.Trace) (*ExecResult, error) {
-	res, info, err := s.plan(ctx, q, set, tr)
+	g := s.budget.NewGauge()
+	defer g.Reset()
+	res, info, degraded, err := s.planLadder(ctx, q, set, g, tr)
 	if err != nil {
 		return nil, err
 	}
 	sp := tr.Span("execute")
-	out, err := s.engine.Execute(ctx, res.Plan, q)
+	out, err := s.engine.ExecuteEnv(ctx, res.Plan, q, engine.ExecEnv{Gauge: g, Faults: set.Faults})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -562,27 +715,102 @@ func (s *System) dispatch(ctx context.Context, q *Query, set opt.RunSettings, tr
 	out.Trace.AttachSpans(sp)
 	out.Opt = res
 	out.CacheInfo = info
+	out.Degraded = degraded
+	if len(degraded) > 0 {
+		s.resInst.QueryDegraded()
+	}
 	return out, nil
+}
+
+// degradable reports whether a planning failure is worth retrying with
+// a cheaper algorithm: the call itself is still alive (its context has
+// not expired) and the failure is one the ladder can help with — a
+// memory-budget trip, an optimizer-only timeout (WithOptimizerTimeout)
+// or a recovered enumeration panic.
+func degradable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var pe *resilience.PanicError
+	return errors.Is(err, resilience.ErrBudgetExceeded) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.As(err, &pe)
+}
+
+// ladderSteps returns the fallback algorithms to try, in order, after
+// a degradable failure of algo: first the pruned enumeration (much
+// smaller memo, same plan most of the time), then the greedy left-deep
+// baseline (no memo at all, always finishes).
+func ladderSteps(algo Algorithm) []Algorithm {
+	switch algo {
+	case Greedy:
+		return nil
+	case TDCMDP:
+		return []Algorithm{Greedy}
+	default: // TDCMD, HGRTDCMD, TDAuto
+		return []Algorithm{TDCMDP, Greedy}
+	}
+}
+
+// planLadder produces the physical plan for q, walking the degradation
+// ladder when planning fails recoverably. The returned degraded slice
+// — one human-readable entry per fallback taken — ends up on
+// ExecResult.Degraded; it is nil for the healthy path.
+func (s *System) planLadder(ctx context.Context, q *Query, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace) (*opt.Result, engine.CacheInfo, []string, error) {
+	res, info, err := s.plan(ctx, q, set, g, tr)
+	if err == nil {
+		return res, info, nil, nil
+	}
+	var degraded []string
+	var le *plancache.LookupError
+	if errors.As(err, &le) {
+		// The cache machinery itself failed — the query is fine. Serve
+		// it uncached.
+		degraded = append(degraded, fmt.Sprintf("cache bypass: %v", le.Cause))
+		res, err = s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr)
+		if err == nil {
+			return res, engine.CacheInfo{}, degraded, nil
+		}
+	}
+	prev := set.Algorithm
+	for _, next := range ladderSteps(set.Algorithm) {
+		if !degradable(ctx, err) {
+			break
+		}
+		degraded = append(degraded, fmt.Sprintf("%s failed (%v); retrying with %s", prev, err, next))
+		g.Reset() // a failed attempt's memo charges must not starve the retry
+		res, err = s.optimizeTraced(ctx, q, next, set, g, tr)
+		if err == nil {
+			return res, engine.CacheInfo{}, degraded, nil
+		}
+		prev = next
+	}
+	return nil, engine.CacheInfo{}, degraded, err
 }
 
 // plan produces the physical plan for q: through the plan cache when
 // one is configured and the call did not opt out, otherwise the plain
 // stats + enumerate pipeline.
-func (s *System) plan(ctx context.Context, q *Query, set opt.RunSettings, tr *obs.Trace) (*opt.Result, engine.CacheInfo, error) {
+func (s *System) plan(ctx context.Context, q *Query, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace) (*opt.Result, engine.CacheInfo, error) {
 	if s.cache == nil || set.NoCache {
-		res, err := s.optimizeTraced(ctx, q, set.Algorithm, tr)
+		res, err := s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr)
 		return res, engine.CacheInfo{}, err
+	}
+	if set.Faults.Should(faultinject.CacheLookup) {
+		return nil, engine.CacheInfo{}, &plancache.LookupError{Cause: faultinject.Injected{Site: faultinject.CacheLookup}}
 	}
 	res, info, err := s.cache.Optimize(ctx, q, set.Algorithm, s.ds.Epoch(),
 		func(q *sparql.Query) (*stats.Stats, error) {
 			return stats.CollectSampled(s.ds, q, s.sampleRate)
 		},
 		func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error) {
-			in, err := s.inputWithStats(q, st)
+			in, err := s.inputWithStats(q, st, set, g)
 			if err != nil {
 				return nil, err
 			}
-			return opt.Optimize(ctx, in, set.Algorithm)
+			octx, ocancel := withDeadline(ctx, set.OptTimeout)
+			defer ocancel()
+			return opt.Optimize(octx, in, set.Algorithm)
 		}, tr)
 	if err != nil {
 		return nil, engine.CacheInfo{}, err
