@@ -8,9 +8,18 @@
 
 GO ?= go
 
-.PHONY: all vet build test race determinism obs chaos bench bench-smoke fuzz-smoke check
+.PHONY: all lint vet build test race determinism obs chaos bench bench-smoke fuzz-smoke check
 
 all: check
+
+# lint fails on any file gofmt would rewrite (listing the offenders)
+# and runs vet. Kept dependency-free: both tools ship with the Go
+# toolchain.
+lint:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -66,4 +75,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/sparql
 	$(GO) test -run='^$$' -fuzz='^FuzzCanonicalize$$' -fuzztime=5s ./internal/querygraph
 
-check: vet build race determinism obs chaos bench-smoke fuzz-smoke
+check: lint build race determinism obs chaos bench-smoke fuzz-smoke

@@ -8,7 +8,8 @@
 //	-experiment  which artifact to regenerate:
 //	             table3 | table4 | table5 | table6 | table7 |
 //	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
-//	             engine | plancache | obsoverhead | overload | all
+//	             engine | plancache | obsoverhead | overload |
+//	             factorized | all
 //	             (default all; ablation is this repo's extra study of
 //	             the TD-CMDP pruning rules; engine profiles end-to-end
 //	             execution and writes BENCH_engine.json; plancache
@@ -18,7 +19,9 @@
 //	             BENCH_obsoverhead.json; overload drives client fleets
 //	             at 1x-8x of capacity against a gated system (admission
 //	             control + memory budget) and an ungated one and writes
-//	             BENCH_overload.json)
+//	             BENCH_overload.json; factorized compares flat vs
+//	             answer-graph execution on result-heavy queries and
+//	             writes BENCH_factorized.json)
 //	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
 //	             timed-out cells print N/A)
 //	-quick       shrink datasets and instance counts for a fast pass
@@ -35,6 +38,8 @@
 //	             (default BENCH_obsoverhead.json; empty disables the file)
 //	-overloadjson  output path of the overload experiment (default
 //	             BENCH_overload.json; empty disables the file)
+//	-factorizedjson  output path of the factorized-execution profile
+//	             (default BENCH_factorized.json; empty disables the file)
 //	-metrics     append a Prometheus metrics snapshot to the output of
 //	             the serving-path experiments (engine, plancache,
 //	             obsoverhead)
@@ -67,6 +72,7 @@ func main() {
 		pcJSON       = flag.String("plancachejson", "BENCH_plancache.json", "plan cache profile output path (empty = no file)")
 		obsJSON      = flag.String("obsjson", "BENCH_obsoverhead.json", "observability overhead output path (empty = no file)")
 		overloadJSON = flag.String("overloadjson", "BENCH_overload.json", "overload experiment output path (empty = no file)")
+		factJSON     = flag.String("factorizedjson", "BENCH_factorized.json", "factorized-execution profile output path (empty = no file)")
 		metrics      = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
 	)
 	flag.Parse()
@@ -99,8 +105,9 @@ func main() {
 		"plancache":   func(cfg bench.Config) error { return bench.PlanCacheBench(cfg, *pcJSON) },
 		"obsoverhead": func(cfg bench.Config) error { return bench.ObsOverheadBench(cfg, *obsJSON) },
 		"overload":    func(cfg bench.Config) error { return bench.OverloadBench(cfg, *overloadJSON) },
+		"factorized":  func(cfg bench.Config) error { return bench.FactorizedBench(cfg, *factJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized"}
 
 	run := func(name string) {
 		start := time.Now()

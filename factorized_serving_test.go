@@ -1,0 +1,107 @@
+package sparqlopt
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sparqlopt/internal/workload/lubm"
+)
+
+// TestFactorizedServingPath threads a factorized execution through the
+// full serving stack: with an aggressive fanout gate the root join
+// runs on the answer-graph path, and the representation must surface
+// everywhere an operator would look — the ExecResult, the slow-query
+// log and the trace — while the rows stay bit-identical to a plain
+// system's.
+func TestFactorizedServingPath(t *testing.T) {
+	ds := lubm.Generate(lubm.Config{Universities: 1, Seed: 1, Compact: true})
+	plain, err := Open(ds, WithNodes(4), WithFactorization(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate 0.01: any root join whose estimated output exceeds 1% of its
+	// summed inputs factorizes — i.e. effectively always.
+	fact, err := Open(ds, WithNodes(4), WithFactorization(0.01),
+		WithObservability(WithSlowQueryLog(64, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	src := lubm.QueryText("L2")
+
+	want, err := plain.Run(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Factorized {
+		t.Fatal("factorization ran with the gate disabled")
+	}
+
+	var tr *Trace
+	got, err := fact.Run(ctx, src, WithTraceSink(func(x *Trace) { tr = x }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Factorized {
+		t.Fatalf("gate 0.01 did not choose factorization for L2:\n%s", got.String())
+	}
+	if got.FlatRowCount() < int64(len(got.Rows)) {
+		t.Errorf("flat count %d below distinct rows %d", got.FlatRowCount(), len(got.Rows))
+	}
+	if got.FlatRowCount() != want.FlatRowCount() {
+		t.Errorf("factorized flat count %d, flat path counted %d", got.FlatRowCount(), want.FlatRowCount())
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("factorized returned %d rows, flat %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("row %d differs between representations", i)
+			}
+		}
+	}
+	if !strings.Contains(got.String(), "factorized") {
+		t.Errorf("ExecResult string does not mention factorization: %s", got.String())
+	}
+
+	// The root operator's span must carry the representation attrs.
+	var span *Span
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if strings.HasPrefix(s.Name, "op:") {
+			if _, ok := s.Attr("factorized"); ok {
+				span = s
+			}
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	if span == nil {
+		t.Fatalf("no operator span marked factorized:\n%s", tr.Format())
+	}
+	for _, attr := range []string{"flattened_rows", "deferred_fanout"} {
+		if _, ok := span.Attr(attr); !ok {
+			t.Errorf("span %s lacks %s", span.Name, attr)
+		}
+	}
+
+	// And the slow-query log records the representation per entry.
+	entries := fact.SlowQueries()
+	if len(entries) == 0 {
+		t.Fatal("slow-query log empty")
+	}
+	e := entries[len(entries)-1]
+	if !e.Factorized {
+		t.Errorf("slow-log entry not marked factorized: %s", e.String())
+	}
+	if e.FlatRows != got.FlatRowCount() {
+		t.Errorf("slow-log flat rows %d, result counted %d", e.FlatRows, got.FlatRowCount())
+	}
+	if !strings.Contains(e.String(), "factorized") {
+		t.Errorf("slow-log string does not mention factorization: %s", e.String())
+	}
+}

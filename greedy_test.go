@@ -1,0 +1,142 @@
+package sparqlopt
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/workload/lubm"
+	"sparqlopt/internal/workload/watdiv"
+)
+
+// greedyTestQueries gathers the LUBM suite plus a handful of bound
+// WatDiv templates, each paired with its dataset — the same workloads
+// the serving benchmarks run.
+func greedyTestQueries(t *testing.T) []struct {
+	name string
+	q    *Query
+	ds   *Dataset
+} {
+	t.Helper()
+	type tq = struct {
+		name string
+		q    *Query
+		ds   *Dataset
+	}
+	var out []tq
+	lds := lubm.Generate(lubm.Config{Universities: 2, Seed: 1, Compact: true})
+	for _, name := range lubm.QueryNames {
+		out = append(out, tq{name, lubm.Query(name), lds})
+	}
+	wds := watdiv.GenerateData(watdiv.DataConfig{Scale: 200, Seed: 1})
+	for _, tpl := range watdiv.Templates(1) {
+		if tpl.Query == nil || len(tpl.Query.Patterns) < 2 {
+			continue
+		}
+		q := tpl.Bind(wds, 1)
+		// Binding the walk's start variable can disconnect the join
+		// graph; those are unplannable without Cartesian products.
+		if jg, err := querygraph.NewJoinGraph(q); err != nil || !jg.Connected(jg.All()) {
+			continue
+		}
+		out = append(out, tq{fmt.Sprintf("W%d", tpl.ID), q, wds})
+		if len(out) >= len(lubm.QueryNames)+5 {
+			break
+		}
+	}
+	return out
+}
+
+// TestGreedyExecutesCorrectly: the greedy baseline — the last rung of
+// the optimizer's degradation ladder — must still produce valid plans
+// whose distributed execution matches the single-node reference on
+// every LUBM and WatDiv query.
+func TestGreedyExecutesCorrectly(t *testing.T) {
+	systems := map[*Dataset]*System{}
+	for _, tc := range greedyTestQueries(t) {
+		sys := systems[tc.ds]
+		if sys == nil {
+			var err error
+			sys, err = Open(tc.ds, WithNodes(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			systems[tc.ds] = sys
+		}
+		want, err := Reference(tc.ds, tc.q)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", tc.name, err)
+		}
+		res, err := sys.OptimizeQuery(context.Background(), tc.q, WithAlgorithm(Greedy))
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", tc.name, err)
+		}
+		if res.Used != Greedy {
+			t.Fatalf("%s: ran %v, want Greedy", tc.name, res.Used)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Fatalf("%s: invalid greedy plan: %v\n%s", tc.name, err, res.Plan.Format())
+		}
+		got, err := sys.Execute(context.Background(), res.Plan, tc.q)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", tc.name, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Errorf("%s: greedy plan returned %d rows, reference has %d",
+				tc.name, len(got.Rows), len(want.Rows))
+			continue
+		}
+		for i := range got.Rows {
+			for j := range got.Rows[i] {
+				if got.Rows[i][j] != want.Rows[i][j] {
+					t.Errorf("%s: row %d differs", tc.name, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyCostSane: greedy plans can be suboptimal but must stay
+// within a sane multiple of TD-CMD's cost. The bound is loose (100x)
+// on purpose: it catches a heuristic gone pathological, not ordinary
+// suboptimality. There is no lower bound — TD-CMD is optimal within
+// the connected-multi-division space (every division shares one join
+// variable), while greedy's binary steps may join on several variables
+// at once, so it occasionally lands on a slightly cheaper plan outside
+// that space (L3 does).
+func TestGreedyCostSane(t *testing.T) {
+	const saneMultiple = 100.0
+	systems := map[*Dataset]*System{}
+	for _, tc := range greedyTestQueries(t) {
+		sys := systems[tc.ds]
+		if sys == nil {
+			var err error
+			sys, err = Open(tc.ds, WithNodes(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			systems[tc.ds] = sys
+		}
+		greedy, err := sys.OptimizeQuery(context.Background(), tc.q, WithAlgorithm(Greedy))
+		if err != nil {
+			t.Fatalf("%s: greedy: %v", tc.name, err)
+		}
+		optimal, err := sys.OptimizeQuery(context.Background(), tc.q, WithAlgorithm(TDCMD))
+		if err != nil {
+			t.Fatalf("%s: tdcmd: %v", tc.name, err)
+		}
+		g, o := greedy.Plan.Cost, optimal.Plan.Cost
+		if o > 0 && g > o*saneMultiple {
+			t.Errorf("%s: greedy cost %.4g is %.0fx the optimal %.4g",
+				tc.name, g, g/o, o)
+		}
+		// The baseline must also stay cheap to find: a left-deep chain
+		// considers far fewer plans than the exhaustive enumeration.
+		if len(tc.q.Patterns) >= 4 && greedy.Counter.Plans >= optimal.Counter.Plans {
+			t.Errorf("%s: greedy explored %d plans, TD-CMD %d — the baseline should be the cheap one",
+				tc.name, greedy.Counter.Plans, optimal.Counter.Plans)
+		}
+	}
+}

@@ -117,6 +117,30 @@ func (c Config) params() cost.Params {
 	return p
 }
 
+// Meta is the metadata block every BENCH_*.json report embeds, so
+// bench trajectories stay comparable across PRs: the dataset knobs
+// plus the engine representation (flat vs factorized) and the
+// parallelism setting the run used.
+type Meta struct {
+	Quick       bool   `json:"quick"`
+	Nodes       int    `json:"nodes"`
+	Seed        int64  `json:"seed"`
+	Parallelism int    `json:"parallelism"` // 0 = GOMAXPROCS
+	Engine      string `json:"engine"`      // "flat" or "factorized"
+}
+
+// meta describes this run's configuration. The engine representation
+// is "factorized" when the cost model's factorization gate is armed —
+// result-heavy roots run on the answer-graph path — and "flat" when
+// the gate is disabled.
+func (c Config) meta() Meta {
+	eng := "flat"
+	if c.params().FactorizeFanout > 0 {
+		eng = "factorized"
+	}
+	return Meta{Quick: c.Quick, Nodes: c.nodes(), Seed: c.seed(), Parallelism: c.Parallelism, Engine: eng}
+}
+
 // Optimizer names one algorithm under test.
 type Optimizer struct {
 	Name string

@@ -36,9 +36,7 @@ type EngineRecord struct {
 
 // engineReport is the BENCH_engine.json payload.
 type engineReport struct {
-	Quick   bool           `json:"quick"`
-	Nodes   int            `json:"nodes"`
-	Seed    int64          `json:"seed"`
+	Meta
 	Records []EngineRecord `json:"records"`
 }
 
@@ -104,7 +102,7 @@ func EngineBench(cfg Config, jsonPath string) error {
 		engines[bq.ds] = e
 	}
 
-	report := engineReport{Quick: cfg.Quick, Nodes: cfg.nodes(), Seed: cfg.seed()}
+	report := engineReport{Meta: cfg.meta()}
 	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Engine execution profile (Hash-SO, TD-Auto plans)")
 	fmt.Fprintln(w, "Query\tP\tWall\tRows\tScanned\tTransferred\tJoined")

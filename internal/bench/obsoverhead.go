@@ -35,9 +35,7 @@ type ObsOverheadRecord struct {
 // fully-enabled path lets us bound it — the regression test asserts
 // total_disabled_seconds <= total_enabled_seconds * 1.02.
 type obsOverheadReport struct {
-	Quick                bool    `json:"quick"`
-	Nodes                int     `json:"nodes"`
-	Seed                 int64   `json:"seed"`
+	Meta
 	Rounds               int     `json:"rounds"`
 	TotalDisabledSeconds float64 `json:"total_disabled_seconds"`
 	TotalEnabledSeconds  float64 `json:"total_enabled_seconds"`
@@ -76,7 +74,7 @@ func ObsOverheadBench(cfg Config, jsonPath string) error {
 	if cfg.Quick {
 		rounds = 3
 	}
-	report := obsOverheadReport{Quick: cfg.Quick, Nodes: cfg.nodes(), Seed: cfg.seed(), Rounds: rounds}
+	report := obsOverheadReport{Meta: cfg.meta(), Rounds: rounds}
 	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "Observability overhead (Hash-SO, TD-Auto, min of %d rounds per query)\n", rounds)
 	fmt.Fprintln(w, "Query\tDisabled\tEnabled\tOverhead\tRows")

@@ -44,11 +44,9 @@ type OverloadRecord struct {
 
 // overloadReport is the BENCH_overload.json payload.
 type overloadReport struct {
-	Quick    bool  `json:"quick"`
-	Nodes    int   `json:"nodes"`
-	Seed     int64 `json:"seed"`
-	Capacity int   `json:"capacity"` // gated max-concurrent
-	MaxQueue int   `json:"max_queued"`
+	Meta
+	Capacity int `json:"capacity"` // gated max-concurrent
+	MaxQueue int `json:"max_queued"`
 	// MemBudgetBytes is the gated per-query memory budget.
 	MemBudgetBytes int64 `json:"mem_budget_bytes"`
 	// GatedP99Held reports the experiment's acceptance criterion: the
@@ -102,7 +100,7 @@ func OverloadBench(cfg Config, jsonPath string) error {
 	}
 
 	report := overloadReport{
-		Quick: cfg.Quick, Nodes: cfg.nodes(), Seed: cfg.seed(),
+		Meta:     cfg.meta(),
 		Capacity: capacity, MaxQueue: maxQueued, MemBudgetBytes: perQueryBudget,
 	}
 	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)

@@ -44,9 +44,7 @@ type PlanCacheRecord struct {
 
 // planCacheReport is the BENCH_plancache.json payload.
 type planCacheReport struct {
-	Quick            bool              `json:"quick"`
-	Nodes            int               `json:"nodes"`
-	Seed             int64             `json:"seed"`
+	Meta
 	Capacity         int               `json:"capacity"`
 	Hits             int64             `json:"hits"`
 	Misses           int64             `json:"misses"`
@@ -93,7 +91,7 @@ func PlanCacheBench(cfg Config, jsonPath string) error {
 		warmRuns = 10
 	}
 
-	report := planCacheReport{Quick: cfg.Quick, Nodes: cfg.nodes(), Seed: cfg.seed(), Capacity: capacity}
+	report := planCacheReport{Meta: cfg.meta(), Capacity: capacity}
 	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "Plan cache profile (Hash-SO, TD-Auto, %d warm runs per query)\n", warmRuns)
 	fmt.Fprintln(w, "Query\tColdPlan\tWarmPlan\tSpeedup\tColdTotal\tWarmTotal\tRows\tIdentical")

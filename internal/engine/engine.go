@@ -89,7 +89,24 @@ type Result struct {
 	// "optimizer: TD-CMD failed (budget), retried with TD-CMDP" or
 	// "plan cache: lookup failed, bypassed". Empty on a clean run.
 	Degraded []string
+	// Factorized reports that the root operator ran the factorizing
+	// hash-join path: its intermediate was an answer graph (column
+	// groups + link vectors) flattened only at projection, instead of
+	// a flat row arena. Rows and Metrics are bit-identical either way;
+	// only the representation — and its memory footprint — differs.
+	Factorized bool
+	// flatRows is the root operator's logical output size: the number
+	// of flat rows the final gather held before deduplication and
+	// projection. On a factorized run it is counted from the answer
+	// graph without flattening (saturating at MaxInt64).
+	flatRows int64
 }
+
+// FlatRowCount returns the logical (pre-dedup, pre-projection) row
+// count of the root operator's distributed output. For a factorized
+// run this is the flattened size the engine never materialized — the
+// gap between it and len(Rows) is the work factorization skipped.
+func (r *Result) FlatRowCount() int64 { return r.flatRows }
 
 // EnumeratedJoins is the number of join operators this run's own
 // optimization enumerated — 0 on a plan-cache hit (no enumeration
@@ -110,6 +127,9 @@ func (r *Result) String() string {
 	}
 	fmt.Fprintf(&b, " scanned=%d shuffled=%d rows/%d B joined=%d",
 		r.Metrics.ScannedTriples, r.Metrics.TransferredRows, r.Metrics.TransferredBytes, r.Metrics.JoinedRows)
+	if r.Factorized {
+		fmt.Fprintf(&b, " factorized(flat_rows=%d)", r.flatRows)
+	}
 	if r.CacheInfo.Enabled {
 		state := "miss"
 		if r.CacheInfo.Hit {
@@ -209,6 +229,16 @@ func (e *Engine) ExecuteEnv(ctx context.Context, p *plan.Node, q *sparql.Query, 
 	if e.inst != nil {
 		execStart = time.Now()
 	}
+	if p.Factorize && p.Alg != plan.Scan {
+		// The cost model marked the root join result-heavy: run the
+		// factorizing path, which keeps the root intermediate as an
+		// answer graph and flattens only at projection. Deeper
+		// factorized annotations are ignored — a non-root operator's
+		// result has to be gathered or shuffled, and flattening it at
+		// the node boundary would pay exactly the cost factorization
+		// defers.
+		return e.executeFactorized(ctx, p, q, env, execStart)
+	}
 	var m Metrics
 	parts, trace, err := e.eval(ctx, p, q, env, &m)
 	if err != nil {
@@ -217,8 +247,10 @@ func (e *Engine) ExecuteEnv(ctx context.Context, p *plan.Node, q *sparql.Query, 
 	// Gather the distributed result and deduplicate (set semantics;
 	// this also collapses replication-induced duplicates).
 	final := &Relation{Vars: parts[0].Vars}
+	var flat int64
 	for _, r := range parts {
 		final.Rows = append(final.Rows, r.Rows...)
+		flat += int64(len(r.Rows))
 	}
 	final.dedup()
 	out, err := projectResult(final, q)
@@ -227,8 +259,41 @@ func (e *Engine) ExecuteEnv(ctx context.Context, p *plan.Node, q *sparql.Query, 
 	}
 	out.Metrics = m
 	out.Trace = trace
+	out.flatRows = flat
 	if e.inst != nil {
 		e.inst.recordExecute(time.Since(execStart), len(out.Rows), m)
+	}
+	return out, nil
+}
+
+// executeFactorized is the factorized twin of ExecuteEnv's body: the
+// children below the root evaluate exactly as the flat path would
+// (same operators, same shuffles, same metrics), but the root join
+// builds per-node answer graphs instead of flat arenas and the final
+// gather/dedup/projection enumerates only the column groups the
+// projection needs, deduplicating as it goes.
+func (e *Engine) executeFactorized(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, execStart time.Time) (*Result, error) {
+	var m Metrics
+	parts, trace, err := e.evalFactorizedRoot(ctx, p, q, env, &m)
+	if err != nil {
+		return nil, err
+	}
+	out, flattened, err := e.projectFactorized(ctx, parts, q, env)
+	if err != nil {
+		return nil, err
+	}
+	trace.FlattenedRows = flattened
+	trace.DeferredFanout = trace.OutputRows - flattened
+	if trace.DeferredFanout < 0 {
+		trace.DeferredFanout = 0
+	}
+	out.Metrics = m
+	out.Trace = trace
+	out.Factorized = true
+	out.flatRows = trace.OutputRows
+	if e.inst != nil {
+		e.inst.recordExecute(time.Since(execStart), len(out.Rows), m)
+		e.inst.recordFactorized(trace.OutputRows, flattened)
 	}
 	return out, nil
 }
@@ -247,11 +312,13 @@ func projectResult(rel *Relation, q *sparql.Query) (*Result, error) {
 	return &Result{Vars: proj.Vars, Rows: proj.Rows}, nil
 }
 
-// eval executes p and returns one relation per node (the distributed
-// intermediate result of paper §II-D) plus the operator's trace.
-func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics) ([]*Relation, *TraceNode, error) {
+// opGate is the prologue every operator evaluation passes: the
+// cancellation poll and the injected-fault sites (slow operator,
+// budget trip). It is shared by the flat and factorized paths so the
+// chaos suite exercises both identically.
+func (e *Engine) opGate(ctx context.Context, p *plan.Node, env ExecEnv) error {
 	if err := obs.Canceled(ctx, "execute"); err != nil {
-		return nil, nil, err
+		return err
 	}
 	if d := env.Faults.Delay(faultinject.EngineSlow); d > 0 {
 		// An injected slow operator must stay cancellable: a deadline
@@ -260,12 +327,21 @@ func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, env Ex
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return nil, nil, obs.Canceled(ctx, "execute")
+			return obs.Canceled(ctx, "execute")
 		case <-t.C:
 		}
 	}
 	if env.Faults.Should(faultinject.EngineBudget) {
-		return nil, nil, &resilience.BudgetError{Site: opName(p.Alg), Requested: 1, Limit: env.Gauge.Used()}
+		return &resilience.BudgetError{Site: opName(p.Alg), Requested: 1, Limit: env.Gauge.Used()}
+	}
+	return nil
+}
+
+// eval executes p and returns one relation per node (the distributed
+// intermediate result of paper §II-D) plus the operator's trace.
+func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics) ([]*Relation, *TraceNode, error) {
+	if err := e.opGate(ctx, p, env); err != nil {
+		return nil, nil, err
 	}
 	var out []*Relation
 	var err error
@@ -274,12 +350,8 @@ func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, env Ex
 	switch p.Alg {
 	case plan.Scan:
 		out, err = e.scan(p.TP, q, env, m, tr)
-	case plan.LocalJoin:
-		out, err = e.localJoin(ctx, p, q, env, m, tr, &start)
-	case plan.BroadcastJoin:
-		out, err = e.broadcastJoin(ctx, p, q, env, m, tr, &start)
-	case plan.RepartitionJoin:
-		out, err = e.repartitionJoin(ctx, p, q, env, m, tr, &start)
+	case plan.LocalJoin, plan.BroadcastJoin, plan.RepartitionJoin:
+		out, err = e.joinOp(ctx, p, q, env, m, tr, &start)
 	default:
 		err = fmt.Errorf("engine: unknown operator %v", p.Alg)
 	}
@@ -414,162 +486,145 @@ func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query
 	return children, nil
 }
 
-// localJoin joins the children fragments node by node with no
-// communication; the partitioning guarantees every complete match is
-// co-located (Definition 2).
-func (e *Engine) localJoin(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
-	children, err := e.evalChildren(ctx, p, q, env, m, tr, start)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*Relation, len(e.stores))
-	var joined int64
-	err = e.perNodeErr(func(node int) error {
-		env.Faults.PanicIf(faultinject.EnginePanic)
-		rels := make([]*Relation, len(children))
-		for i := range children {
-			rels[i] = children[i][node]
-		}
-		r, err := joinAll(ctx, env.Gauge, "local_join", rels)
-		if err != nil {
-			return err
-		}
-		out[node] = r
-		atomic.AddInt64(&joined, int64(len(r.Rows)))
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	m.JoinedRows += joined
-	return out, nil
-}
-
-// broadcastJoin gathers the k−1 smaller inputs, replicates them to
-// every node, and joins them against the largest input in place.
-func (e *Engine) broadcastJoin(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
-	children, err := e.evalChildren(ctx, p, q, env, m, tr, start)
-	if err != nil {
-		return nil, err
-	}
-	// Find the largest input by total row count.
-	largest, largestSize := 0, -1
-	sizes := make([]int, len(children))
-	for i, frags := range children {
-		for _, f := range frags {
-			sizes[i] += len(f.Rows)
-		}
-		if sizes[i] > largestSize {
-			largest, largestSize = i, sizes[i]
-		}
-	}
-	// Gather and dedupe each small input (replicated fragments may
-	// hold the same row on several nodes). The gathers are independent
-	// per child, so they run under the subtree-parallelism bound; the
-	// transfer accounting is summed in child order afterwards.
-	gathered := make([]*Relation, len(children))
-	moved := make([]int64, len(children))
-	var order []int
-	for i := range children {
-		if i != largest {
-			order = append(order, i)
-		}
-	}
-	if err := e.forEachBounded(len(order), func(oi int) {
-		i := order[oi]
-		frags := children[i]
-		// The gather shares the fragments' row storage; no arena copy.
-		g := &Relation{Vars: frags[0].Vars, Rows: make([][]rdf.TermID, 0, sizes[i])}
-		for _, f := range frags {
-			g.Rows = append(g.Rows, f.Rows...)
-		}
-		g.dedup()
-		// Every row ships to every node holding the largest input.
-		gathered[i] = g
-		moved[i] = int64(len(g.Rows)) * int64(len(e.stores))
-	}); err != nil {
-		return nil, err
-	}
-	small := make([]*Relation, 0, len(children)-1)
-	for _, i := range order {
-		bytes := moved[i] * termIDBytes * int64(len(gathered[i].Vars))
-		m.TransferredRows += moved[i]
-		m.TransferredBytes += bytes
-		tr.TransferredRows += moved[i]
-		tr.TransferredBytes += bytes
-		small = append(small, gathered[i])
-	}
-	out := make([]*Relation, len(e.stores))
-	var joined int64
-	err = e.perNodeErr(func(node int) error {
-		env.Faults.PanicIf(faultinject.EnginePanic)
-		rels := make([]*Relation, 0, len(children))
-		rels = append(rels, children[largest][node])
-		rels = append(rels, small...)
-		r, err := joinAll(ctx, env.Gauge, "broadcast_join", rels)
-		if err != nil {
-			return err
-		}
-		out[node] = r
-		atomic.AddInt64(&joined, int64(len(r.Rows)))
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	m.JoinedRows += joined
-	return out, nil
-}
-
-// repartitionJoin reshuffles every input on the shared join variable
-// and joins per node. Rows arriving at a node are deduplicated first,
-// collapsing replicas shipped from different source nodes. The
-// per-child scatters are independent and run under the parallelism
-// bound; each scatter polls ctx so huge shuffles stay cancellable.
-func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+// joinInputs evaluates p's children and performs the operator's data
+// movement — nothing for a local join (partitioning guarantees every
+// complete match is co-located, Definition 2), gather+replicate of the
+// k−1 smaller inputs for broadcast, a hash scatter on the join
+// variable for repartition — returning per node the list of relations
+// that node's join consumes. Transfer accounting lands in m and tr
+// exactly as the flat operators always reported it, so the flat and
+// factorized execution paths are metric-identical.
+func (e *Engine) joinInputs(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([][]*Relation, error) {
 	children, err := e.evalChildren(ctx, p, q, env, m, tr, start)
 	if err != nil {
 		return nil, err
 	}
 	n := len(e.stores)
-	// Resolve the join column of every input up front (deterministic
-	// error reporting regardless of schedule).
-	cols := make([]int, len(children))
-	for i, frags := range children {
-		cols[i] = frags[0].colIndex(p.JoinVar)
-		if cols[i] < 0 {
-			return nil, fmt.Errorf("engine: repartition variable ?%s missing from input %d", p.JoinVar, i)
+	inputs := make([][]*Relation, n)
+	switch p.Alg {
+	case plan.LocalJoin:
+		for node := 0; node < n; node++ {
+			rels := make([]*Relation, len(children))
+			for i := range children {
+				rels[i] = children[i][node]
+			}
+			inputs[node] = rels
 		}
-	}
-	shuffled := make([][]*Relation, len(children)) // [child][node]
-	moved := make([]int64, len(children))
-	errs := make([]error, len(children))
-	if err := e.forEachBounded(len(children), func(i int) {
-		shuffled[i], moved[i], errs[i] = e.scatter(ctx, children[i], cols[i], env)
-	}); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
+	case plan.BroadcastJoin:
+		// Find the largest input by total row count.
+		largest, largestSize := 0, -1
+		sizes := make([]int, len(children))
+		for i, frags := range children {
+			for _, f := range frags {
+				sizes[i] += len(f.Rows)
+			}
+			if sizes[i] > largestSize {
+				largest, largestSize = i, sizes[i]
+			}
+		}
+		// Gather and dedupe each small input (replicated fragments may
+		// hold the same row on several nodes). The gathers are
+		// independent per child, so they run under the subtree-
+		// parallelism bound; the transfer accounting is summed in child
+		// order afterwards.
+		gathered := make([]*Relation, len(children))
+		moved := make([]int64, len(children))
+		var order []int
+		for i := range children {
+			if i != largest {
+				order = append(order, i)
+			}
+		}
+		if err := e.forEachBounded(len(order), func(oi int) {
+			i := order[oi]
+			frags := children[i]
+			// The gather shares the fragments' row storage; no arena copy.
+			g := &Relation{Vars: frags[0].Vars, Rows: make([][]rdf.TermID, 0, sizes[i])}
+			for _, f := range frags {
+				g.Rows = append(g.Rows, f.Rows...)
+			}
+			g.dedup()
+			// Every row ships to every node holding the largest input.
+			gathered[i] = g
+			moved[i] = int64(len(g.Rows)) * int64(n)
+		}); err != nil {
 			return nil, err
 		}
+		small := make([]*Relation, 0, len(children)-1)
+		for _, i := range order {
+			bytes := moved[i] * termIDBytes * int64(len(gathered[i].Vars))
+			m.TransferredRows += moved[i]
+			m.TransferredBytes += bytes
+			tr.TransferredRows += moved[i]
+			tr.TransferredBytes += bytes
+			small = append(small, gathered[i])
+		}
+		for node := 0; node < n; node++ {
+			rels := make([]*Relation, 0, len(children))
+			rels = append(rels, children[largest][node])
+			rels = append(rels, small...)
+			inputs[node] = rels
+		}
+	case plan.RepartitionJoin:
+		// Resolve the join column of every input up front (deterministic
+		// error reporting regardless of schedule). Rows arriving at a
+		// node are deduplicated by scatter, collapsing replicas shipped
+		// from different source nodes; each scatter polls ctx so huge
+		// shuffles stay cancellable.
+		cols := make([]int, len(children))
+		for i, frags := range children {
+			cols[i] = frags[0].colIndex(p.JoinVar)
+			if cols[i] < 0 {
+				return nil, fmt.Errorf("engine: repartition variable ?%s missing from input %d", p.JoinVar, i)
+			}
+		}
+		shuffled := make([][]*Relation, len(children)) // [child][node]
+		moved := make([]int64, len(children))
+		errs := make([]error, len(children))
+		if err := e.forEachBounded(len(children), func(i int) {
+			shuffled[i], moved[i], errs[i] = e.scatter(ctx, children[i], cols[i], env)
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i := range children {
+			bytes := moved[i] * termIDBytes * int64(len(children[i][0].Vars))
+			m.TransferredRows += moved[i]
+			m.TransferredBytes += bytes
+			tr.TransferredRows += moved[i]
+			tr.TransferredBytes += bytes
+		}
+		for node := 0; node < n; node++ {
+			rels := make([]*Relation, len(children))
+			for i := range children {
+				rels[i] = shuffled[i][node]
+			}
+			inputs[node] = rels
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown operator %v", p.Alg)
 	}
-	for i := range children {
-		bytes := moved[i] * termIDBytes * int64(len(children[i][0].Vars))
-		m.TransferredRows += moved[i]
-		m.TransferredBytes += bytes
-		tr.TransferredRows += moved[i]
-		tr.TransferredBytes += bytes
+	return inputs, nil
+}
+
+// joinOp runs one k-way join operator the flat way: per-node inputs
+// from joinInputs, then a hash-join fold on every node, materializing
+// each node's result as a flat row arena.
+func (e *Engine) joinOp(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([]*Relation, error) {
+	inputs, err := e.joinInputs(ctx, p, q, env, m, tr, start)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]*Relation, n)
+	site := opName(p.Alg)
+	out := make([]*Relation, len(e.stores))
 	var joined int64
 	err = e.perNodeErr(func(node int) error {
 		env.Faults.PanicIf(faultinject.EnginePanic)
-		rels := make([]*Relation, len(children))
-		for i := range children {
-			rels[i] = shuffled[i][node]
-		}
-		r, err := joinAll(ctx, env.Gauge, "repartition_join", rels)
+		r, err := joinAll(ctx, env.Gauge, site, inputs[node])
 		if err != nil {
 			return err
 		}
@@ -582,6 +637,94 @@ func (e *Engine) repartitionJoin(ctx context.Context, p *plan.Node, q *sparql.Qu
 	}
 	m.JoinedRows += joined
 	return out, nil
+}
+
+// evalFactorizedRoot runs the root join operator on the factorizing
+// path: the same joinInputs movement as the flat path (children are
+// evaluated flat — their results cross node boundaries and would have
+// to be flattened anyway), then a per-node factorize instead of a
+// per-node joinAll. The trace and JoinedRows report the operator's
+// logical (flattened) output, counted from the answer graph without
+// materializing it, so estimate-vs-actual comparison keeps working.
+func (e *Engine) evalFactorizedRoot(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics) ([]*FactorizedRelation, *TraceNode, error) {
+	if err := e.opGate(ctx, p, env); err != nil {
+		return nil, nil, err
+	}
+	tr := newTrace(p)
+	start := time.Now()
+	inputs, err := e.joinInputs(ctx, p, q, env, m, tr, &start)
+	if err != nil {
+		return nil, nil, err
+	}
+	site := opName(p.Alg)
+	out := make([]*FactorizedRelation, len(e.stores))
+	counts := make([]int64, len(e.stores))
+	err = e.perNodeErr(func(node int) error {
+		env.Faults.PanicIf(faultinject.EnginePanic)
+		f, err := factorize(ctx, env.Gauge, site, inputs[node])
+		if err != nil {
+			return err
+		}
+		out[node] = f
+		counts[node] = f.flatCount()
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Fold the per-node logical counts in node order (saturating), so
+	// the reported totals are schedule-invariant.
+	var joined int64
+	for _, c := range counts {
+		joined = satAdd(joined, c)
+		if c > tr.MaxNodeRows {
+			tr.MaxNodeRows = c
+		}
+	}
+	m.JoinedRows = satAdd(m.JoinedRows, joined)
+	tr.Elapsed = time.Since(start)
+	tr.OutputRows = joined
+	tr.Factorized = true
+	if e.inst != nil {
+		e.inst.recordOp(p.Alg, tr.Elapsed, tr.OutputRows)
+	}
+	return out, tr, nil
+}
+
+// projectFactorized gathers the per-node answer graphs and produces
+// the final distinct projected result without ever materializing the
+// flat join: every node's graph enumerates only the column groups the
+// projection touches, deduplicating into one shared output (which
+// also absorbs cross-node replication, like the flat path's gather-
+// then-dedup). The returned count is the number of candidate rows
+// actually enumerated.
+func (e *Engine) projectFactorized(ctx context.Context, parts []*FactorizedRelation, q *sparql.Query, env ExecEnv) (*Result, int64, error) {
+	vars := q.Select
+	if len(vars) == 0 {
+		vars = q.Vars()
+	}
+	schema := parts[0].Vars()
+	full := &Relation{Vars: schema}
+	for _, v := range vars {
+		if full.colIndex(v) < 0 {
+			return nil, 0, fmt.Errorf("engine: projected variable ?%s not bound by the query", v)
+		}
+	}
+	out := newRelation(append([]string{}, vars...), 0)
+	seen := make(map[uint64][]int32)
+	var flattened int64
+	for _, f := range parts {
+		n, err := f.projectDistinct(ctx, vars, out, seen)
+		flattened += n
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := out.chargeTo(env.Gauge, "flatten"); err != nil {
+		return nil, 0, err
+	}
+	out.sortRows()
+	return &Result{Vars: out.Vars, Rows: out.Rows}, flattened, nil
 }
 
 // scatter hashes one input's rows to their destination nodes. A first
@@ -648,6 +791,12 @@ func Reference(ds *rdf.Dataset, q *sparql.Query) (*Result, error) {
 			}
 		}
 	}
+	flat := int64(len(cur.Rows))
 	cur.dedup()
-	return projectResult(cur, q)
+	out, err := projectResult(cur, q)
+	if err != nil {
+		return nil, err
+	}
+	out.flatRows = flat
+	return out, nil
 }

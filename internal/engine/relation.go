@@ -88,8 +88,41 @@ func (r *Relation) row(mark int) []rdf.TermID {
 	return r.arena[mark:len(r.arena):len(r.arena)]
 }
 
+// grow ensures the arena has room for extra more TermIDs and the Rows
+// slice for one more row, doubling capacities when they run out. Go's
+// append grows large slices by only ~1.25x, which makes an unhinted
+// append loop pay O(log₁.₂₅ n) reallocations-plus-copies; explicit
+// doubling guarantees the textbook O(log₂ n) — see
+// TestRelationGrowthGeometric. Rows already handed out keep pointing
+// into the old arena, which stays correct (full-capacity subslices) at
+// the price of retaining it until the relation dies.
+func (r *Relation) grow(extra int) {
+	if need := len(r.arena) + extra; need > cap(r.arena) {
+		newCap := 2 * cap(r.arena)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 64 {
+			newCap = 64
+		}
+		arena := make([]rdf.TermID, len(r.arena), newCap)
+		copy(arena, r.arena)
+		r.arena = arena
+	}
+	if len(r.Rows) == cap(r.Rows) {
+		newCap := 2 * cap(r.Rows)
+		if newCap < 16 {
+			newCap = 16
+		}
+		rows := make([][]rdf.TermID, len(r.Rows), newCap)
+		copy(rows, r.Rows)
+		r.Rows = rows
+	}
+}
+
 // appendCopy appends a copy of row into the arena.
 func (r *Relation) appendCopy(row []rdf.TermID) {
+	r.grow(len(row))
 	mark := len(r.arena)
 	r.arena = append(r.arena, row...)
 	r.Rows = append(r.Rows, r.row(mark))
@@ -97,6 +130,7 @@ func (r *Relation) appendCopy(row []rdf.TermID) {
 
 // appendMerged appends arow ++ brow[bExtra] without a per-row alloc.
 func (r *Relation) appendMerged(arow, brow []rdf.TermID, bExtra []int) {
+	r.grow(len(arow) + len(bExtra))
 	mark := len(r.arena)
 	r.arena = append(r.arena, arow...)
 	for _, j := range bExtra {
@@ -107,6 +141,7 @@ func (r *Relation) appendMerged(arow, brow []rdf.TermID, bExtra []int) {
 
 // appendProjected appends row restricted to cols.
 func (r *Relation) appendProjected(row []rdf.TermID, cols []int) {
+	r.grow(len(cols))
 	mark := len(r.arena)
 	for _, c := range cols {
 		r.arena = append(r.arena, row[c])

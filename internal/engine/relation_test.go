@@ -199,3 +199,28 @@ func TestSeqColsLarge(t *testing.T) {
 		t.Fatalf("len = %d", len(got))
 	}
 }
+
+// TestRelationGrowthGeometric is the regression test grow()'s doc
+// comment points at: appending n rows into a relation opened with no
+// capacity hint must reallocate O(log₂ n) times, not O(n/epsilon) as
+// Go's small-slice append growth would past ~1 KiB arenas. The alloc
+// count per append run bounds reallocations: 2^14 two-column rows need
+// ~15 arena doublings + ~11 row-slice doublings plus the two seed
+// allocations — anything near the row count means growth went linear.
+func TestRelationGrowthGeometric(t *testing.T) {
+	const rows = 1 << 14
+	row := []rdf.TermID{1, 2}
+	allocs := testing.AllocsPerRun(5, func() {
+		rel := newRelation([]string{"x", "y"}, 0)
+		for i := 0; i < rows; i++ {
+			row[0] = rdf.TermID(i)
+			rel.appendCopy(row)
+		}
+		if len(rel.Rows) != rows {
+			t.Fatalf("appended %d rows, kept %d", rows, len(rel.Rows))
+		}
+	})
+	if allocs > 48 {
+		t.Fatalf("appending %d rows cost %.0f allocations; geometric growth should need ~30", rows, allocs)
+	}
+}

@@ -34,6 +34,16 @@ type TraceNode struct {
 	// EstimatedCard is the optimizer's cardinality estimate, kept for
 	// estimate-vs-actual comparison.
 	EstimatedCard float64
+	// Factorized marks an operator that produced its result as an
+	// answer graph instead of flat rows. OutputRows then counts the
+	// logical (flattened) size, computed without materializing it.
+	Factorized bool
+	// FlattenedRows is the number of candidate rows the projection
+	// actually enumerated from the answer graph (factorized root only).
+	FlattenedRows int64
+	// DeferredFanout = OutputRows − FlattenedRows: the flat rows
+	// factorization never materialized.
+	DeferredFanout int64
 	// Children mirror the plan's inputs, always in plan child order —
 	// parallel child evaluation attaches traces by index, never in
 	// completion order.
@@ -67,9 +77,13 @@ func (tr *TraceNode) Format() string {
 			fmt.Fprintf(&b, "%sscan tp%d: rows=%d (est %.4g) max/node=%d time=%v\n",
 				indent, t.TP+1, t.OutputRows, t.EstimatedCard, t.MaxNodeRows, t.Elapsed.Round(time.Microsecond))
 		default:
-			fmt.Fprintf(&b, "%s%s on ?%s: rows=%d (est %.4g) max/node=%d moved=%d (%dB) time=%v\n",
+			mark := ""
+			if t.Factorized {
+				mark = fmt.Sprintf(" factorized(deferred=%d)", t.DeferredFanout)
+			}
+			fmt.Fprintf(&b, "%s%s on ?%s: rows=%d (est %.4g) max/node=%d moved=%d (%dB) time=%v%s\n",
 				indent, t.Alg, t.JoinVar, t.OutputRows, t.EstimatedCard, t.MaxNodeRows,
-				t.TransferredRows, t.TransferredBytes, t.Elapsed.Round(time.Microsecond))
+				t.TransferredRows, t.TransferredBytes, t.Elapsed.Round(time.Microsecond), mark)
 		}
 		for _, ch := range t.Children {
 			walk(ch, indent+"  ")
@@ -117,6 +131,11 @@ func (tr *TraceNode) AttachSpans(parent *obs.Span) {
 	if tr.Alg == plan.BroadcastJoin || tr.Alg == plan.RepartitionJoin {
 		s.SetAttrInt("shuffled_rows", tr.TransferredRows)
 		s.SetAttrInt("shuffled_bytes", tr.TransferredBytes)
+	}
+	if tr.Factorized {
+		s.SetAttr("factorized", "true")
+		s.SetAttrInt("flattened_rows", tr.FlattenedRows)
+		s.SetAttrInt("deferred_fanout", tr.DeferredFanout)
 	}
 	parent.Attach(s)
 	for _, ch := range tr.Children {

@@ -20,6 +20,14 @@ type SlowQueryEntry struct {
 	Duration time.Duration
 	// Rows is the result size (0 on error).
 	Rows int
+	// FlatRows is the root operator's logical (pre-dedup, pre-
+	// projection) output size; on a factorized run it was counted, not
+	// materialized. A large FlatRows/Rows ratio flags the result-heavy
+	// queries factorization targets.
+	FlatRows int64
+	// Factorized reports that the run used the factorized
+	// (answer-graph) execution path.
+	Factorized bool
 	// CacheHit reports that the plan came from the plan cache.
 	CacheHit bool
 	// Err is the failure that ended the run, "" for a slow success.
@@ -47,6 +55,9 @@ func (e SlowQueryEntry) String() string {
 		fmt.Fprintf(&b, " ERROR %q", e.Err)
 	default:
 		fmt.Fprintf(&b, " rows=%d", e.Rows)
+	}
+	if e.Factorized {
+		fmt.Fprintf(&b, " factorized(flat_rows=%d)", e.FlatRows)
 	}
 	if e.CacheHit {
 		b.WriteString(" cache=hit")

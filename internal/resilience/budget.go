@@ -94,6 +94,7 @@ func (b *Budget) NewGauge() *Gauge {
 type Gauge struct {
 	b    *Budget
 	used atomic.Int64
+	peak atomic.Int64
 }
 
 // Reserve charges n bytes for site, failing with a *BudgetError
@@ -118,7 +119,23 @@ func (g *Gauge) Reserve(site string, n int64) error {
 		b.trip()
 		return &BudgetError{Site: site, Requested: n, Used: t - n, Limit: b.total, Shared: true}
 	}
-	return nil
+	for {
+		p := g.peak.Load()
+		if u <= p || g.peak.CompareAndSwap(p, u) {
+			return nil
+		}
+	}
+}
+
+// Peak returns the high-water mark of this query's reservations —
+// the largest value Used has reached. Unlike Used it survives
+// Release/Reset, so benchmarks can read a query's true peak footprint
+// after the run finishes.
+func (g *Gauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
 }
 
 // Release returns n bytes to both the query's and the process meter —

@@ -287,6 +287,18 @@ func WithCostParams(p CostParams) Option { return func(c *openConfig) { c.params
 // setting — the knob only changes wall time.
 func WithParallelism(p int) Option { return func(c *openConfig) { c.parallelism = p } }
 
+// WithFactorization sets the factorized-execution fanout gate: a root
+// join whose estimated output exceeds fanout times the sum of its
+// input cardinalities runs on the factorized (answer-graph) path,
+// which represents the result as shared column groups with link
+// vectors and flattens only at projection. Results, plans and metrics
+// are identical either way; only the intermediate representation (and
+// its memory footprint) changes. fanout <= 0 disables factorization;
+// the default is cost.Default's gate (4).
+func WithFactorization(fanout float64) Option {
+	return func(c *openConfig) { c.params.FactorizeFanout = fanout }
+}
+
 // WithPlanCache enables the serving-path plan cache with capacity for
 // (at least) n query fingerprints; n <= 0 (the default) disables
 // caching. With the cache enabled, System.Run canonicalizes each
@@ -669,6 +681,8 @@ func (s *System) serveObserved(ctx context.Context, src string, q *Query, set op
 					e.Rejected = errors.Is(err, resilience.ErrOverloaded)
 				} else {
 					e.Rows = len(out.Rows)
+					e.FlatRows = out.FlatRowCount()
+					e.Factorized = out.Factorized
 					e.CacheHit = out.CacheInfo.Hit
 					e.Degraded = out.Degraded
 				}
