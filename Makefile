@@ -63,10 +63,14 @@ chaos:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# One iteration of the execution benchmarks: catches compile or
-# runtime breakage in the bench harness without measuring anything.
+# One iteration of the execution benchmarks plus a quick pass of the
+# adaptive-repartitioning experiment: catches compile or runtime
+# breakage in the bench harnesses without measuring anything. The
+# adaptive pass also re-checks its bit-identical-results invariant on
+# every gate run (its JSON artifact is suppressed).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkExecute -benchtime=1x .
+	$(GO) run ./cmd/benchrunner -experiment adaptive -quick -adaptivejson ''
 
 # Short fuzzing passes over the parser and the plan-cache
 # fingerprinter, seeded from the checked-in corpora. 5 s each: enough

@@ -9,7 +9,7 @@
 //	             table3 | table4 | table5 | table6 | table7 |
 //	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
 //	             engine | plancache | obsoverhead | overload |
-//	             factorized | all
+//	             factorized | adaptive | all
 //	             (default all; ablation is this repo's extra study of
 //	             the TD-CMDP pruning rules; engine profiles end-to-end
 //	             execution and writes BENCH_engine.json; plancache
@@ -21,7 +21,11 @@
 //	             control + memory budget) and an ungated one and writes
 //	             BENCH_overload.json; factorized compares flat vs
 //	             answer-graph execution on result-heavy queries and
-//	             writes BENCH_factorized.json)
+//	             writes BENCH_factorized.json; adaptive drives a
+//	             repeating hot workload through a static and an
+//	             advisor-enabled system, reporting steady-state shuffle
+//	             volume, warm p99, replication cost and cold-query
+//	             regression, and writes BENCH_adaptive.json)
 //	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
 //	             timed-out cells print N/A)
 //	-quick       shrink datasets and instance counts for a fast pass
@@ -40,6 +44,8 @@
 //	             BENCH_overload.json; empty disables the file)
 //	-factorizedjson  output path of the factorized-execution profile
 //	             (default BENCH_factorized.json; empty disables the file)
+//	-adaptivejson  output path of the adaptive-repartitioning profile
+//	             (default BENCH_adaptive.json; empty disables the file)
 //	-metrics     append a Prometheus metrics snapshot to the output of
 //	             the serving-path experiments (engine, plancache,
 //	             obsoverhead)
@@ -73,6 +79,7 @@ func main() {
 		obsJSON      = flag.String("obsjson", "BENCH_obsoverhead.json", "observability overhead output path (empty = no file)")
 		overloadJSON = flag.String("overloadjson", "BENCH_overload.json", "overload experiment output path (empty = no file)")
 		factJSON     = flag.String("factorizedjson", "BENCH_factorized.json", "factorized-execution profile output path (empty = no file)")
+		adaptJSON    = flag.String("adaptivejson", "BENCH_adaptive.json", "adaptive-repartitioning profile output path (empty = no file)")
 		metrics      = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
 	)
 	flag.Parse()
@@ -106,8 +113,9 @@ func main() {
 		"obsoverhead": func(cfg bench.Config) error { return bench.ObsOverheadBench(cfg, *obsJSON) },
 		"overload":    func(cfg bench.Config) error { return bench.OverloadBench(cfg, *overloadJSON) },
 		"factorized":  func(cfg bench.Config) error { return bench.FactorizedBench(cfg, *factJSON) },
+		"adaptive":    func(cfg bench.Config) error { return bench.AdaptiveBench(cfg, *adaptJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized", "adaptive"}
 
 	run := func(name string) {
 		start := time.Now()

@@ -41,6 +41,11 @@
 //	            and optimizer memo state; queries that would exceed it
 //	            degrade to cheaper plans or fail with a typed budget
 //	            error instead of exhausting the process (0 = unlimited)
+//	-adaptive   enable the adaptive repartitioning advisor: repeated
+//	            repartition-heavy query shapes (best seen in -repl
+//	            mode with -plancache) trigger background migrations
+//	            that co-locate the hot triple groups; advisor counters
+//	            print on exit. Applies to the td-* algorithms
 //	-demo       use a generated LUBM dataset and query L8
 //
 // The observability flags (-trace, -metrics, -slowlog) route through
@@ -92,6 +97,7 @@ func main() {
 		maxConc   = flag.Int("max-concurrent", 0, "admission control: max concurrently served queries (0 = unlimited)")
 		maxQueued = flag.Int("max-queued", 0, "admission control: max queries queued for a slot (with -max-concurrent)")
 		memBudget = flag.Int64("mem-budget", 0, "per-query memory budget in bytes for materialized state (0 = unlimited)")
+		adaptive  = flag.Bool("adaptive", false, "enable the adaptive repartitioning advisor (migrates hot triple groups as the workload repeats; advisor stats print on exit)")
 	)
 	flag.Parse()
 	if err := run(runConfig{
@@ -101,6 +107,7 @@ func main() {
 		repl: *repl, parallelism: *parallel, planCache: *planCache,
 		trace: *trace, metrics: *metrics, slowlog: *slowlog,
 		maxConcurrent: *maxConc, maxQueued: *maxQueued, memBudget: *memBudget,
+		adaptive: *adaptive,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
 		os.Exit(1)
@@ -118,6 +125,7 @@ type runConfig struct {
 	timeout                                  time.Duration
 	maxConcurrent, maxQueued                 int
 	memBudget                                int64
+	adaptive                                 bool
 }
 
 // observing reports whether any observability flag is set.
@@ -250,6 +258,9 @@ func openSystem(cfg runConfig, ds *rdf.Dataset, method partition.Method) (*sparq
 	if cfg.memBudget > 0 {
 		opts = append(opts, sparqlopt.WithMemoryBudget(cfg.memBudget, 0))
 	}
+	if cfg.adaptive {
+		opts = append(opts, sparqlopt.WithAdaptivePartitioning(sparqlopt.AdaptiveConfig{}))
+	}
 	if cfg.metrics || cfg.slowlog > 0 {
 		var obsOpts []sparqlopt.ObsOption
 		if cfg.slowlog > 0 {
@@ -282,6 +293,12 @@ func callOptions(cfg runConfig, algo opt.Algorithm) ([]sparqlopt.RunOption, func
 
 // finishObserved dumps the exit-time observability artifacts.
 func finishObserved(cfg runConfig, sys *sparqlopt.System) error {
+	if cfg.adaptive {
+		sys.WaitForMigrations()
+		st := sys.AdvisorStats()
+		fmt.Printf("\nadaptive advisor: %d queries observed, %d groups tracked, %d migrations (%d triples, %d groups aligned), replication factor %.2f\n",
+			st.ObservedQueries, st.TrackedGroups, st.Migrations, st.MigratedTriples, st.AlignedGroups, sys.ReplicationFactor())
+	}
 	if cfg.slowlog > 0 {
 		entries := sys.SlowQueries()
 		fmt.Printf("\nslow-query log (%d entries at/over %v):\n", len(entries), cfg.slowlog)

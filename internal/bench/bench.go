@@ -127,6 +127,21 @@ type Meta struct {
 	Seed        int64  `json:"seed"`
 	Parallelism int    `json:"parallelism"` // 0 = GOMAXPROCS
 	Engine      string `json:"engine"`      // "flat" or "factorized"
+	// Adaptive records the advisor configuration of an adaptive-
+	// repartitioning run; nil for every other experiment.
+	Adaptive *AdaptiveMeta `json:"adaptive,omitempty"`
+}
+
+// AdaptiveMeta is the advisor configuration an adaptive run used —
+// embedded in the report so its trigger and budget knobs travel with
+// the numbers they produced.
+type AdaptiveMeta struct {
+	Rounds            int     `json:"rounds"`
+	MinShuffledBytes  int64   `json:"min_shuffled_bytes"`
+	MinQueries        int     `json:"min_queries"`
+	ReplicationBudget float64 `json:"replication_budget"`
+	BalanceFactor     float64 `json:"balance_factor"`
+	Synchronous       bool    `json:"synchronous"`
 }
 
 // meta describes this run's configuration. The engine representation

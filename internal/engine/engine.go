@@ -108,6 +108,14 @@ type Result struct {
 // gap between it and len(Rows) is the work factorization skipped.
 func (r *Result) FlatRowCount() int64 { return r.flatRows }
 
+// ShuffledRows returns the run's total cross-node row movement — the
+// per-query shuffle feed the adaptive advisor and the slow-query log
+// consume without needing a trace sink.
+func (r *Result) ShuffledRows() int64 { return r.Metrics.TransferredRows }
+
+// ShuffledBytes returns the wire volume of ShuffledRows.
+func (r *Result) ShuffledBytes() int64 { return r.Metrics.TransferredBytes }
+
 // EnumeratedJoins is the number of join operators this run's own
 // optimization enumerated — 0 on a plan-cache hit (no enumeration
 // happened), the optimizer's CMD counter otherwise.
@@ -157,14 +165,48 @@ type ExecEnv struct {
 	// Faults, when non-nil, arms deterministic fault injection at the
 	// engine's sites (chaos tests only; nil in production).
 	Faults *faultinject.Set
+	// snap is the store snapshot this execution reads. ExecuteEnv
+	// captures it once at entry, so a background migration swapping
+	// the engine's stores mid-query never gives one query two views.
+	snap *storeSnap
+}
+
+// storeSnap is one immutable view of the partitioned data: the
+// per-node base stores, the per-node migration overlays, and the
+// alignment table the current placement guarantees. Background
+// migrations build a fresh snapshot and swap it in atomically; queries
+// in flight keep the one they started with.
+//
+// Base stores hold the partitioning method's original fragments and
+// are NEVER rebuilt: normal scans read only them, so queries outside
+// the migrated patterns cost exactly what they did before any
+// migration. The copies a migration adds live in the overlays, which
+// only aligned scans consult — the one context where those copies can
+// be useful (each is a duplicate of a base triple somewhere else).
+type storeSnap struct {
+	stores []*store
+	// overlays[node] indexes the migration adds on node; nil when the
+	// node has none (and the whole slice is nil before any migration).
+	overlays []*store
+	align    *partition.Alignment
+}
+
+// overlay returns node's migration overlay, nil when it has none.
+func (s *storeSnap) overlay(node int) *store {
+	if s.overlays == nil {
+		return nil
+	}
+	return s.overlays[node]
 }
 
 // Engine executes plans over a partitioned dataset, one goroutine per
 // simulated computing node, plus bounded intra-query parallelism
 // across independent plan subtrees.
 type Engine struct {
-	dict   *rdf.Dict
-	stores []*store
+	dict *rdf.Dict
+	// snap is the current store snapshot; swapped whole by
+	// ApplyMigration, never mutated in place.
+	snap atomic.Pointer[storeSnap]
 	// sem is the subtree-parallelism semaphore: nil means sequential
 	// child evaluation, otherwise it holds parallelism-1 slots (the
 	// submitting goroutine is the extra worker).
@@ -178,13 +220,70 @@ type Engine struct {
 // The engine defaults to full intra-query parallelism (GOMAXPROCS);
 // see SetParallelism.
 func New(dict *rdf.Dict, placement *partition.Placement) *Engine {
-	e := &Engine{dict: dict, stores: make([]*store, placement.Nodes)}
+	e := &Engine{dict: dict}
+	stores := make([]*store, placement.Nodes)
 	for i, ts := range placement.Triples {
-		e.stores[i] = newStore(ts)
+		stores[i] = newStore(ts)
 	}
+	e.snap.Store(&storeSnap{stores: stores})
 	e.SetParallelism(0)
 	return e
 }
+
+// ApplyMigration swaps in a new store snapshot with the migration's
+// per-node adds indexed as overlays and the given alignment table. The
+// base stores are never rebuilt — normal scans keep reading exactly the
+// pre-migration fragments, so queries outside the migrated patterns see
+// zero cost from the added replicas; only aligned scans read the
+// overlays. Touched nodes get a fresh overlay merging the previous
+// one with the new adds (deduplicated against the base fragment);
+// untouched overlays are shared with the previous snapshot. Queries
+// already executing keep their captured snapshot — the swap never
+// blocks or tears an in-flight run. The returned value is the
+// rebuilt-triple count (the transient build cost the caller charged
+// its memory gauge for).
+func (e *Engine) ApplyMigration(m *partition.Migration, align *partition.Alignment) int {
+	old := e.snap.Load()
+	overlays := make([]*store, len(old.stores))
+	if old.overlays != nil {
+		copy(overlays, old.overlays)
+	}
+	rebuilt := 0
+	for node, adds := range m.Adds {
+		if len(adds) == 0 {
+			continue
+		}
+		var prev []rdf.Triple
+		if overlays[node] != nil {
+			prev = overlays[node].triples
+		}
+		base := old.stores[node].triples
+		seen := make(map[rdf.Triple]struct{}, len(base)+len(prev)+len(adds))
+		for _, t := range base {
+			seen[t] = struct{}{}
+		}
+		for _, t := range prev {
+			seen[t] = struct{}{}
+		}
+		merged := make([]rdf.Triple, len(prev), len(prev)+len(adds))
+		copy(merged, prev)
+		for _, t := range adds {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			merged = append(merged, t)
+		}
+		overlays[node] = newStore(merged)
+		rebuilt += len(merged)
+	}
+	e.snap.Store(&storeSnap{stores: old.stores, overlays: overlays, align: align})
+	return rebuilt
+}
+
+// Alignment returns the engine's current alignment table (nil when no
+// migration has run).
+func (e *Engine) Alignment() *partition.Alignment { return e.snap.Load().align }
 
 // SetParallelism bounds how many independent plan subtrees and
 // shuffle scatters run concurrently: 0 means GOMAXPROCS, any value
@@ -203,7 +302,7 @@ func (e *Engine) SetParallelism(p int) {
 }
 
 // Nodes returns the cluster size.
-func (e *Engine) Nodes() int { return len(e.stores) }
+func (e *Engine) Nodes() int { return len(e.snap.Load().stores) }
 
 // SetInstruments wires (or, with nil, unwires) the engine's metrics.
 // It must not be called concurrently with Execute.
@@ -222,6 +321,11 @@ func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*R
 // typed *resilience.PanicError failing this query only.
 func (e *Engine) ExecuteEnv(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv) (res *Result, err error) {
 	defer resilience.CatchPanic(&err, e.inst.panicRecovered)
+	if env.snap == nil {
+		// Capture the store view once: every operator of this run reads
+		// the same snapshot even if a migration swaps e.snap mid-query.
+		env.snap = e.snap.Load()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
 	}
@@ -417,10 +521,10 @@ func (e *Engine) forEachBounded(n int, f func(i int)) error {
 // error, deterministically. A node goroutine's panic is recovered on
 // that goroutine into a typed *resilience.PanicError attributed to the
 // node, so a poisoned operator fails its query, never the process.
-func (e *Engine) perNodeErr(f func(node int) error) error {
-	errs := make([]error, len(e.stores))
+func (e *Engine) perNodeErr(n int, f func(node int) error) error {
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i := range e.stores {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
@@ -439,13 +543,14 @@ func (e *Engine) perNodeErr(f func(node int) error) error {
 
 func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode) ([]*Relation, error) {
 	bp := bindPattern(e.dict, q.Patterns[tp])
-	out := make([]*Relation, len(e.stores))
+	stores := env.snap.stores
+	out := make([]*Relation, len(stores))
 	var scanned int64
-	err := e.perNodeErr(func(node int) error {
+	err := e.perNodeErr(len(stores), func(node int) error {
 		local := bp
 		var count int64
 		local.scanned = &count
-		out[node] = e.stores[node].match(local)
+		out[node] = stores[node].match(local)
 		atomic.AddInt64(&scanned, count)
 		return out[node].chargeTo(env.Gauge, "scan")
 	})
@@ -456,20 +561,141 @@ func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *Trac
 	return out, nil
 }
 
+// alignHints returns, per child of a repartition join, the join
+// variable that child should align-scan on ("" = evaluate normally;
+// nil when no child qualifies). A child qualifies when it is a Scan
+// leaf whose pattern has a constant predicate with the join variable
+// at the subject or object, and the snapshot's alignment table marks
+// that (predicate, position) triple group fully migrated: every triple
+// of the group then has a copy on AlignNode(key term) — exactly the
+// node the repartition scatter would send its rows to — so the scan
+// can emit each matching triple only there and skip the shuffle
+// entirely without changing the joined row set.
+func (e *Engine) alignHints(p *plan.Node, q *sparql.Query, env ExecEnv) []string {
+	a := env.snap.align
+	if a.Len() == 0 {
+		return nil
+	}
+	var hints []string
+	for i, c := range p.Children {
+		if c.Alg != plan.Scan {
+			continue
+		}
+		tp := q.Patterns[c.TP]
+		if tp.P.IsVar() {
+			continue
+		}
+		pred, ok := e.dict.Lookup(tp.P.Value)
+		if !ok {
+			continue // unknown predicate matches nothing; normal path is fine
+		}
+		var pos partition.Pos
+		switch {
+		case tp.S.IsVar() && tp.S.Value == p.JoinVar:
+			pos = partition.PosS
+		case tp.O.IsVar() && tp.O.Value == p.JoinVar:
+			pos = partition.PosO
+		default:
+			continue // join variable not at an alignable position
+		}
+		if !a.Aligned(pred, pos) {
+			continue
+		}
+		if hints == nil {
+			hints = make([]string, len(p.Children))
+		}
+		hints[i] = p.JoinVar
+	}
+	return hints
+}
+
+// alignedScan is the Scan evaluation of an aligned child: match the
+// pattern as usual, but emit each row only on the node the parent's
+// repartition scatter would route it to (row[col] % n). The alignment
+// guarantee — every group triple has a copy on its align node — makes
+// the emitted multiset identical to scan+scatter+dedup: each distinct
+// matching row appears exactly once, already on its destination.
+func (e *Engine) alignedScan(ctx context.Context, p *plan.Node, q *sparql.Query, joinVar string, env ExecEnv, m *Metrics) ([]*Relation, *TraceNode, error) {
+	if err := e.opGate(ctx, p, env); err != nil {
+		return nil, nil, err
+	}
+	tr := newTrace(p)
+	tr.Aligned = true
+	start := time.Now()
+	bp := bindPattern(e.dict, q.Patterns[p.TP])
+	stores := env.snap.stores
+	n := len(stores)
+	out := make([]*Relation, n)
+	var scanned int64
+	err := e.perNodeErr(n, func(node int) error {
+		local := bp
+		var count int64
+		local.scanned = &count
+		rel := stores[node].match(local)
+		col := rel.colIndex(joinVar)
+		if col < 0 {
+			return fmt.Errorf("engine: aligned-scan variable ?%s missing from tp%d", joinVar, p.TP+1)
+		}
+		if ov := env.snap.overlay(node); ov != nil {
+			// Migrated copies live only in the overlay, invisible to
+			// normal scans; an aligned scan must see them — they are
+			// exactly the copies the migration placed on this node so
+			// the shuffle can be skipped.
+			ovRel := ov.match(local)
+			if err := ovRel.chargeTo(env.Gauge, "scan"); err != nil {
+				return err
+			}
+			rel.Rows = append(rel.Rows, ovRel.Rows...)
+		}
+		// No dedup needed, unlike the scatter path: every copy of a
+		// triple shares one align node, only that node passes the
+		// filter, and there each row appears once — the base fragment
+		// and the overlay are each deduplicated and the overlay is
+		// built net of the base — so each matching row already appears
+		// exactly once globally.
+		kept := rel.Rows[:0]
+		for _, row := range rel.Rows {
+			if int(uint64(row[col])%uint64(n)) == node {
+				kept = append(kept, row)
+			}
+		}
+		rel.Rows = kept
+		out[node] = rel
+		atomic.AddInt64(&scanned, count)
+		return rel.chargeTo(env.Gauge, "scan")
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m.ScannedTriples += scanned
+	tr.Elapsed = time.Since(start)
+	tr.record(out)
+	if e.inst != nil {
+		e.inst.recordOp(p.Alg, tr.Elapsed, tr.OutputRows)
+	}
+	return out, tr, nil
+}
+
 // evalChildren evaluates the children of p — concurrently when the
 // parallelism knob allows, since the subtrees of a k-way join are
 // independent — attaching their traces to tr in child order and
 // restarting the parent's own-time clock. Every child accumulates
 // into its own Metrics; the merge happens in child order, so totals
-// are independent of the schedule.
-func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([][]*Relation, error) {
+// are independent of the schedule. A non-empty hints[i] names the join
+// variable child i should align-scan on (see alignHints); hints may be
+// nil when no child qualifies.
+func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time, hints []string) ([][]*Relation, error) {
 	n := len(p.Children)
 	children := make([][]*Relation, n)
 	traces := make([]*TraceNode, n)
 	metrics := make([]Metrics, n)
 	errs := make([]error, n)
 	if err := e.forEachBounded(n, func(i int) {
-		children[i], traces[i], errs[i] = e.eval(ctx, p.Children[i], q, env, &metrics[i])
+		if hints != nil && hints[i] != "" {
+			children[i], traces[i], errs[i] = e.alignedScan(ctx, p.Children[i], q, hints[i], env, &metrics[i])
+		} else {
+			children[i], traces[i], errs[i] = e.eval(ctx, p.Children[i], q, env, &metrics[i])
+		}
 	}); err != nil {
 		return nil, err
 	}
@@ -495,11 +721,15 @@ func (e *Engine) evalChildren(ctx context.Context, p *plan.Node, q *sparql.Query
 // exactly as the flat operators always reported it, so the flat and
 // factorized execution paths are metric-identical.
 func (e *Engine) joinInputs(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode, start *time.Time) ([][]*Relation, error) {
-	children, err := e.evalChildren(ctx, p, q, env, m, tr, start)
+	var hints []string
+	if p.Alg == plan.RepartitionJoin {
+		hints = e.alignHints(p, q, env)
+	}
+	children, err := e.evalChildren(ctx, p, q, env, m, tr, start, hints)
 	if err != nil {
 		return nil, err
 	}
-	n := len(e.stores)
+	n := len(env.snap.stores)
 	inputs := make([][]*Relation, n)
 	switch p.Alg {
 	case plan.LocalJoin:
@@ -582,6 +812,13 @@ func (e *Engine) joinInputs(ctx context.Context, p *plan.Node, q *sparql.Query, 
 		moved := make([]int64, len(children))
 		errs := make([]error, len(children))
 		if err := e.forEachBounded(len(children), func(i int) {
+			if hints != nil && hints[i] != "" {
+				// Aligned scan already emitted every row on its scatter
+				// destination (row[col] % n == node), so the shuffle is
+				// the identity: nothing moves, nothing is rebuilt.
+				shuffled[i], moved[i] = children[i], 0
+				return
+			}
 			shuffled[i], moved[i], errs[i] = e.scatter(ctx, children[i], cols[i], env)
 		}); err != nil {
 			return nil, err
@@ -597,6 +834,11 @@ func (e *Engine) joinInputs(ctx context.Context, p *plan.Node, q *sparql.Query, 
 			m.TransferredBytes += bytes
 			tr.TransferredRows += moved[i]
 			tr.TransferredBytes += bytes
+			// Attribute the scatter to the child that fed it, so the
+			// adaptive advisor can mine exact per-pattern shuffle volume
+			// from completed-query traces.
+			tr.Children[i].ScatterRows = moved[i]
+			tr.Children[i].ScatterBytes = bytes
 		}
 		for node := 0; node < n; node++ {
 			rels := make([]*Relation, len(children))
@@ -620,9 +862,9 @@ func (e *Engine) joinOp(ctx context.Context, p *plan.Node, q *sparql.Query, env 
 		return nil, err
 	}
 	site := opName(p.Alg)
-	out := make([]*Relation, len(e.stores))
+	out := make([]*Relation, len(env.snap.stores))
 	var joined int64
-	err = e.perNodeErr(func(node int) error {
+	err = e.perNodeErr(len(out), func(node int) error {
 		env.Faults.PanicIf(faultinject.EnginePanic)
 		r, err := joinAll(ctx, env.Gauge, site, inputs[node])
 		if err != nil {
@@ -657,9 +899,9 @@ func (e *Engine) evalFactorizedRoot(ctx context.Context, p *plan.Node, q *sparql
 		return nil, nil, err
 	}
 	site := opName(p.Alg)
-	out := make([]*FactorizedRelation, len(e.stores))
-	counts := make([]int64, len(e.stores))
-	err = e.perNodeErr(func(node int) error {
+	out := make([]*FactorizedRelation, len(env.snap.stores))
+	counts := make([]int64, len(out))
+	err = e.perNodeErr(len(out), func(node int) error {
 		env.Faults.PanicIf(faultinject.EnginePanic)
 		f, err := factorize(ctx, env.Gauge, site, inputs[node])
 		if err != nil {
@@ -733,7 +975,7 @@ func (e *Engine) projectFactorized(ctx context.Context, parts []*FactorizedRelat
 // are charged to the query's gauge before the copy, so a shuffle that
 // would blow the budget fails before materializing.
 func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int, env ExecEnv) ([]*Relation, int64, error) {
-	n := len(e.stores)
+	n := len(env.snap.stores)
 	counts := make([]int, n)
 	for _, f := range frags {
 		for _, row := range f.Rows {

@@ -7,7 +7,10 @@ import (
 
 	"sparqlopt/internal/bitset"
 	"sparqlopt/internal/obs"
+	"sparqlopt/internal/partition"
 	"sparqlopt/internal/plan"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
 )
 
 // TraceNode is one operator's execution profile — the engine's
@@ -38,6 +41,18 @@ type TraceNode struct {
 	// answer graph instead of flat rows. OutputRows then counts the
 	// logical (flattened) size, computed without materializing it.
 	Factorized bool
+	// Aligned marks a scan that emitted each row directly on its
+	// repartition destination (the triple group was migrated by the
+	// adaptive advisor), so the parent's scatter for this child was
+	// skipped entirely.
+	Aligned bool
+	// ScatterRows/ScatterBytes attribute a parent repartition join's
+	// shuffle to the child that fed it — the rows of THIS operator's
+	// output that landed on a different node (0 for an aligned child).
+	// Set on the children of a repartition join only; the parent's
+	// TransferredRows/Bytes remain the sum over its children.
+	ScatterRows  int64
+	ScatterBytes int64
 	// FlattenedRows is the number of candidate rows the projection
 	// actually enumerated from the answer graph (factorized root only).
 	FlattenedRows int64
@@ -74,8 +89,12 @@ func (tr *TraceNode) Format() string {
 	walk = func(t *TraceNode, indent string) {
 		switch t.Alg {
 		case plan.Scan:
-			fmt.Fprintf(&b, "%sscan tp%d: rows=%d (est %.4g) max/node=%d time=%v\n",
-				indent, t.TP+1, t.OutputRows, t.EstimatedCard, t.MaxNodeRows, t.Elapsed.Round(time.Microsecond))
+			aligned := ""
+			if t.Aligned {
+				aligned = " aligned"
+			}
+			fmt.Fprintf(&b, "%sscan tp%d: rows=%d (est %.4g) max/node=%d time=%v%s\n",
+				indent, t.TP+1, t.OutputRows, t.EstimatedCard, t.MaxNodeRows, t.Elapsed.Round(time.Microsecond), aligned)
 		default:
 			mark := ""
 			if t.Factorized {
@@ -111,6 +130,70 @@ func (tr *TraceNode) Operators() int {
 	return n
 }
 
+// ShuffleGroup is one alignable (predicate, position) triple group a
+// completed run repartitioned on: a Scan child of a repartition join
+// whose pattern has a constant predicate with the join variable at the
+// subject or object. Rows/Bytes are the OBSERVED shuffle volume that
+// child paid (zero for an already-aligned child) — the adaptive
+// advisor's mining unit.
+type ShuffleGroup struct {
+	Pred    rdf.TermID
+	Pos     partition.Pos
+	TP      int
+	Rows    int64
+	Bytes   int64
+	Aligned bool
+}
+
+// ShuffleGroups mines a completed run's trace for the alignable scan
+// children of its repartition joins. The predicate resolution uses the
+// engine's dictionary, so the returned group keys are directly
+// comparable with partition.GroupKey. A run with no trace (or no
+// repartition joins) yields nil.
+func (e *Engine) ShuffleGroups(res *Result, q *sparql.Query) []ShuffleGroup {
+	if res == nil || res.Trace == nil {
+		return nil
+	}
+	var out []ShuffleGroup
+	var walk func(t *TraceNode)
+	walk = func(t *TraceNode) {
+		if t.Alg == plan.RepartitionJoin {
+			for _, ch := range t.Children {
+				if ch.Alg != plan.Scan {
+					continue
+				}
+				tp := q.Patterns[ch.TP]
+				if tp.P.IsVar() {
+					continue
+				}
+				pred, ok := e.dict.Lookup(tp.P.Value)
+				if !ok {
+					continue
+				}
+				var pos partition.Pos
+				switch {
+				case tp.S.IsVar() && tp.S.Value == t.JoinVar:
+					pos = partition.PosS
+				case tp.O.IsVar() && tp.O.Value == t.JoinVar:
+					pos = partition.PosO
+				default:
+					continue
+				}
+				out = append(out, ShuffleGroup{
+					Pred: pred, Pos: pos, TP: ch.TP,
+					Rows: ch.ScatterRows, Bytes: ch.ScatterBytes,
+					Aligned: ch.Aligned,
+				})
+			}
+		}
+		for _, ch := range t.Children {
+			walk(ch)
+		}
+	}
+	walk(res.Trace)
+	return out
+}
+
 // AttachSpans mirrors the execution profile under parent as lifecycle
 // spans — one "op:<name>" span per operator, in plan child order,
 // annotated with estimated vs. actual cardinality and shuffle volume.
@@ -131,6 +214,9 @@ func (tr *TraceNode) AttachSpans(parent *obs.Span) {
 	if tr.Alg == plan.BroadcastJoin || tr.Alg == plan.RepartitionJoin {
 		s.SetAttrInt("shuffled_rows", tr.TransferredRows)
 		s.SetAttrInt("shuffled_bytes", tr.TransferredBytes)
+	}
+	if tr.Aligned {
+		s.SetAttr("aligned", "true")
 	}
 	if tr.Factorized {
 		s.SetAttr("factorized", "true")

@@ -28,6 +28,12 @@ type SlowQueryEntry struct {
 	// Factorized reports that the run used the factorized
 	// (answer-graph) execution path.
 	Factorized bool
+	// ShuffledRows is the run's total cross-node row movement;
+	// ShuffledBytes its wire volume. Surfaced here (not only as trace
+	// span attrs) so operators and the adaptive-repartitioning advisor
+	// can see shuffle cost without a trace sink attached.
+	ShuffledRows  int64
+	ShuffledBytes int64
 	// CacheHit reports that the plan came from the plan cache.
 	CacheHit bool
 	// Err is the failure that ended the run, "" for a slow success.
@@ -58,6 +64,9 @@ func (e SlowQueryEntry) String() string {
 	}
 	if e.Factorized {
 		fmt.Fprintf(&b, " factorized(flat_rows=%d)", e.FlatRows)
+	}
+	if e.Err == "" {
+		fmt.Fprintf(&b, " shuffled=%d rows/%d B", e.ShuffledRows, e.ShuffledBytes)
 	}
 	if e.CacheHit {
 		b.WriteString(" cache=hit")

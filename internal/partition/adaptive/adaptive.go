@@ -1,0 +1,344 @@
+// Package adaptive implements the online repartitioning advisor: it
+// mines completed-query shuffle observations for triple groups that
+// repeatedly pay repartition cost, and plans incremental migrations
+// that co-locate each hot group's triples with their future join
+// destinations (Adaptive Partitioning, Harbi et al.; PHD-Store).
+//
+// The advisor works on OBSERVED shuffle volume — the exact per-child
+// scatter rows and bytes the engine attributed in completed traces —
+// never on optimizer estimates. A migration only ever adds copies
+// (the base method's placement survives verbatim, so every local-join
+// guarantee the optimizer derives from it stays sound), and is bounded
+// by a replication budget and a per-node balance factor so one hot
+// pattern cannot blow up a node.
+//
+// The loop is: Observe (per completed query) → PlanMigration (when a
+// group crosses the trigger) → caller applies the proposal to the live
+// placement and engine → Commit. Plan and Commit are split so a failed
+// application (e.g. a memory-budget trip while rebuilding stores)
+// leaves the advisor's accounting untouched and the proposal can be
+// retried or dropped.
+package adaptive
+
+import (
+	"sort"
+	"sync"
+
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/rdf"
+)
+
+// Observation is one alignable shuffle a completed query paid: a Scan
+// child of a repartition join, identified by its (predicate, join
+// position) group, with the scatter volume that child actually moved.
+// Aligned marks a child that was already served by an aligned scan
+// (its Rows/Bytes are zero — the shuffle was skipped).
+type Observation struct {
+	Key   partition.GroupKey
+	Rows  int64
+	Bytes int64
+	// Aligned reports the group was already migrated when this query ran.
+	Aligned bool
+}
+
+// Config bounds the advisor. The zero value of any field selects its
+// default.
+type Config struct {
+	// MinBytes is the trigger threshold: a group must accumulate this
+	// much observed shuffle volume before it becomes a migration
+	// candidate. Default 1 MiB.
+	MinBytes int64
+	// MinQueries requires the group to recur across this many distinct
+	// queries — one huge outlier query does not justify replication.
+	// Default 3.
+	MinQueries int
+	// ReplicationBudget caps the copies all migrations together may
+	// add, as a fraction of the dataset size. Default 0.5 (at most
+	// half the dataset again).
+	ReplicationBudget float64
+	// BalanceFactor caps skew: a migration is rejected if it would
+	// leave any node's fragment larger than BalanceFactor times the
+	// mean fragment size. Default 2.
+	BalanceFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinBytes <= 0 {
+		c.MinBytes = 1 << 20
+	}
+	if c.MinQueries <= 0 {
+		c.MinQueries = 3
+	}
+	if c.ReplicationBudget <= 0 {
+		c.ReplicationBudget = 0.5
+	}
+	if c.BalanceFactor <= 0 {
+		c.BalanceFactor = 2
+	}
+	return c
+}
+
+// Stats is a snapshot of the advisor's counters.
+type Stats struct {
+	// ObservedQueries counts queries that reported at least one
+	// alignable shuffle.
+	ObservedQueries int64
+	// TrackedGroups counts distinct (predicate, position) groups ever
+	// observed shuffling.
+	TrackedGroups int
+	// AlignedGroups counts groups migrated so far.
+	AlignedGroups int
+	// AlignedHits counts observations served by an aligned scan — the
+	// shuffles the migrations eliminated.
+	AlignedHits int64
+	// Migrations counts migration rounds applied.
+	Migrations int64
+	// MigratedTriples counts the copies all migrations added.
+	MigratedTriples int64
+	// SkippedBudget counts candidate groups rejected by the
+	// replication or balance budget.
+	SkippedBudget int64
+	// FailedMigrations counts migration rounds that planned but failed
+	// to apply (memory budget, placement mismatch, recovered panic).
+	FailedMigrations int64
+}
+
+// Proposal is one planned migration round, to be applied by the caller
+// (placement + engine) and then Commit-ed back to the advisor.
+type Proposal struct {
+	Migration *partition.Migration
+	Alignment *partition.Alignment
+	// Keys are the groups the proposal aligns, hottest first.
+	Keys []partition.GroupKey
+	// AddCount is the number of triple copies the migration adds.
+	AddCount int64
+}
+
+type groupAcc struct {
+	rows    int64
+	bytes   int64
+	queries int
+}
+
+// Advisor accumulates shuffle observations and plans bounded
+// migrations. All methods are safe for concurrent use.
+type Advisor struct {
+	mu      sync.Mutex
+	cfg     Config
+	acc     map[partition.GroupKey]*groupAcc
+	aligned *partition.Alignment
+	added   int64 // copies committed so far, against the replication budget
+	stats   Stats
+}
+
+// New returns an advisor with the given bounds (zero fields take
+// defaults; see Config).
+func New(cfg Config) *Advisor {
+	return &Advisor{cfg: cfg.withDefaults(), acc: make(map[partition.GroupKey]*groupAcc)}
+}
+
+// Config returns the advisor's effective (defaulted) configuration.
+func (a *Advisor) Config() Config { return a.cfg }
+
+// Alignment returns the advisor's committed alignment snapshot (nil
+// before the first migration).
+func (a *Advisor) Alignment() *partition.Alignment {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.aligned
+}
+
+// Stats returns a snapshot of the advisor's counters.
+func (a *Advisor) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Observe folds one completed query's alignable shuffles into the
+// accumulators and reports whether some unaligned group now crosses
+// the migration trigger — the caller's cue to PlanMigration.
+func (a *Advisor) Observe(obs []Observation) bool {
+	if len(obs) == 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.ObservedQueries++
+	hot := false
+	for _, o := range obs {
+		if o.Aligned {
+			a.stats.AlignedHits++
+			continue
+		}
+		g := a.acc[o.Key]
+		if g == nil {
+			g = &groupAcc{}
+			a.acc[o.Key] = g
+			a.stats.TrackedGroups++
+		}
+		g.rows += o.Rows
+		g.bytes += o.Bytes
+		g.queries++
+		if !a.aligned.Aligned(o.Key.Pred, o.Key.Pos) && a.qualifies(g) {
+			hot = true
+		}
+	}
+	return hot
+}
+
+func (a *Advisor) qualifies(g *groupAcc) bool {
+	return g.bytes >= a.cfg.MinBytes && g.queries >= a.cfg.MinQueries
+}
+
+// PlanMigration computes the next migration round: the hottest
+// qualifying groups — by accumulated observed shuffle bytes, with a
+// deterministic tie-break — whose full alignment fits the remaining
+// replication budget and the balance factor. For every accepted group
+// it adds, per node, the group triples that node is missing: after the
+// migration EVERY triple with the group's predicate has a copy on
+// AlignNode of its key term, which is the all-or-nothing guarantee the
+// engine's aligned scan relies on. Returns nil when no group
+// qualifies or fits.
+//
+// The advisor's own accounting is NOT advanced here; the caller
+// applies the proposal and then calls Commit (or RecordFailure).
+func (a *Advisor) PlanMigration(ds *rdf.Dataset, p *partition.Placement) *Proposal {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	type cand struct {
+		key   partition.GroupKey
+		bytes int64
+	}
+	var cands []cand
+	for k, g := range a.acc {
+		if a.aligned.Aligned(k.Pred, k.Pos) || !a.qualifies(g) {
+			continue
+		}
+		cands = append(cands, cand{k, g.bytes})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bytes != cands[j].bytes {
+			return cands[i].bytes > cands[j].bytes
+		}
+		if cands[i].key.Pred != cands[j].key.Pred {
+			return cands[i].key.Pred < cands[j].key.Pred
+		}
+		return cands[i].key.Pos < cands[j].key.Pos
+	})
+	n := p.Nodes
+	// Index which candidate-predicate triples each node already holds,
+	// so adds are counted net of existing copies (replicating methods
+	// like 2f may have placed many group members correctly already).
+	preds := make(map[rdf.TermID]bool, len(cands))
+	for _, c := range cands {
+		preds[c.key.Pred] = true
+	}
+	type nodeTriple struct {
+		node int
+		t    rdf.Triple
+	}
+	present := make(map[nodeTriple]bool)
+	nodeSizes := make([]int64, n)
+	for node, ts := range p.Triples {
+		nodeSizes[node] = int64(len(ts))
+		for _, t := range ts {
+			if preds[t.P] {
+				present[nodeTriple{node, t}] = true
+			}
+		}
+	}
+	budget := int64(a.cfg.ReplicationBudget*float64(ds.Len())) - a.added
+	adds := make([][]rdf.Triple, n)
+	var accepted []partition.GroupKey
+	var addCount int64
+	for _, c := range cands {
+		group := make([][]rdf.Triple, n)
+		var count int64
+		for _, t := range ds.Triples {
+			if t.P != c.key.Pred {
+				continue
+			}
+			key := t.S
+			if c.key.Pos == partition.PosO {
+				key = t.O
+			}
+			node := partition.AlignNode(key, n)
+			if present[nodeTriple{node, t}] {
+				continue
+			}
+			group[node] = append(group[node], t)
+			count++
+		}
+		if count > budget {
+			a.stats.SkippedBudget++
+			continue
+		}
+		// Balance: project the fragment sizes with this group applied.
+		var projTotal int64
+		balanced := true
+		for node := range group {
+			projTotal += nodeSizes[node] + int64(len(group[node]))
+		}
+		mean := projTotal / int64(n)
+		if mean < 1 {
+			mean = 1
+		}
+		for node := range group {
+			if float64(nodeSizes[node]+int64(len(group[node]))) > a.cfg.BalanceFactor*float64(mean) {
+				balanced = false
+				break
+			}
+		}
+		if !balanced {
+			a.stats.SkippedBudget++
+			continue
+		}
+		budget -= count
+		addCount += count
+		for node := range group {
+			if len(group[node]) > 0 {
+				adds[node] = append(adds[node], group[node]...)
+				nodeSizes[node] += int64(len(group[node]))
+				for _, t := range group[node] {
+					present[nodeTriple{node, t}] = true
+				}
+			}
+		}
+		accepted = append(accepted, c.key)
+	}
+	if len(accepted) == 0 {
+		return nil
+	}
+	return &Proposal{
+		Migration: &partition.Migration{Adds: adds},
+		Alignment: a.aligned.With(accepted...),
+		Keys:      accepted,
+		AddCount:  addCount,
+	}
+}
+
+// Commit records a successfully applied proposal: the alignment
+// snapshot advances, the replication budget is spent, and future
+// Observe/PlanMigration calls treat the groups as aligned.
+func (a *Advisor) Commit(p *Proposal) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.aligned = p.Alignment
+	a.added += p.AddCount
+	a.stats.Migrations++
+	a.stats.MigratedTriples += p.AddCount
+	a.stats.AlignedGroups = a.aligned.Len()
+}
+
+// RecordFailure counts a migration round that planned but failed to
+// apply. The advisor's accounting is unchanged — the groups stay
+// candidates and a later round may retry them.
+func (a *Advisor) RecordFailure() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.FailedMigrations++
+}

@@ -1,0 +1,262 @@
+package adaptive
+
+import (
+	"fmt"
+	"testing"
+
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/rdf"
+)
+
+// hotDataset builds a dataset with one shuffle-heavy predicate ("hot",
+// object-keyed joins) and background noise on other predicates.
+func hotDataset() *rdf.Dataset {
+	ds := rdf.NewDataset()
+	for i := 0; i < 40; i++ {
+		ds.Add(fmt.Sprintf("s%d", i), "hot", fmt.Sprintf("o%d", i%7))
+		ds.Add(fmt.Sprintf("s%d", i), "cold", fmt.Sprintf("c%d", i%5))
+	}
+	ds.Dedup()
+	return ds
+}
+
+func hotKey(tb testing.TB, ds *rdf.Dataset) partition.GroupKey {
+	tb.Helper()
+	pred, ok := ds.Dict.Lookup("hot")
+	if !ok {
+		tb.Fatal("hot predicate missing from dictionary")
+	}
+	return partition.GroupKey{Pred: pred, Pos: partition.PosO}
+}
+
+func observeHot(a *Advisor, key partition.GroupKey, times int) bool {
+	hot := false
+	for i := 0; i < times; i++ {
+		hot = a.Observe([]Observation{{Key: key, Rows: 1000, Bytes: 1 << 20}})
+	}
+	return hot
+}
+
+// TestObserveTrigger: the trigger fires only once a group crosses BOTH
+// thresholds (bytes and distinct queries), and never for groups already
+// aligned — those count as hits instead.
+func TestObserveTrigger(t *testing.T) {
+	ds := hotDataset()
+	key := hotKey(t, ds)
+	a := New(Config{MinBytes: 3 << 20, MinQueries: 3})
+	if observeHot(a, key, 2) {
+		t.Fatal("trigger fired below MinQueries")
+	}
+	if !observeHot(a, key, 1) {
+		t.Fatal("trigger did not fire at the thresholds")
+	}
+	st := a.Stats()
+	if st.ObservedQueries != 3 || st.TrackedGroups != 1 {
+		t.Fatalf("stats after 3 observations: %+v", st)
+	}
+	// Aligned observations are hits, not candidates, and never trigger.
+	a.aligned = a.aligned.With(key)
+	if a.Observe([]Observation{{Key: key, Aligned: true}}) {
+		t.Fatal("aligned observation fired the trigger")
+	}
+	if got := a.Stats().AlignedHits; got != 1 {
+		t.Fatalf("AlignedHits = %d, want 1", got)
+	}
+	// Empty observation lists are ignored entirely.
+	if a.Observe(nil) {
+		t.Fatal("empty observation fired the trigger")
+	}
+}
+
+// TestPlanMigrationAllOrNothing: an accepted group's migration places a
+// copy of EVERY group triple on the align node of its key term — the
+// invariant the engine's aligned scan depends on — while preserving
+// full dataset coverage and the base placement verbatim.
+func TestPlanMigrationAllOrNothing(t *testing.T) {
+	ds := hotDataset()
+	key := hotKey(t, ds)
+	const nodes = 4
+	base, err := partition.HashSO{}.Partition(ds, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{MinBytes: 1, MinQueries: 1})
+	observeHot(a, key, 1)
+	prop := a.PlanMigration(ds, base)
+	if prop == nil {
+		t.Fatal("no proposal for a qualifying group")
+	}
+	if len(prop.Keys) != 1 || prop.Keys[0] != key {
+		t.Fatalf("proposal keys = %v, want [%v]", prop.Keys, key)
+	}
+	if !prop.Alignment.Aligned(key.Pred, key.Pos) {
+		t.Fatal("proposal alignment does not cover the accepted group")
+	}
+	next, err := base.Migrate(prop.Migration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Covers(ds) {
+		t.Fatal("migrated placement lost coverage")
+	}
+	for _, tr := range ds.Triples {
+		if tr.P != key.Pred {
+			continue
+		}
+		node := partition.AlignNode(tr.O, nodes)
+		if !next.HasTriple(node, tr) {
+			t.Fatalf("group triple %v missing from its align node %d", ds.String(tr), node)
+		}
+	}
+	// The base placement is untouched: migration builds a new snapshot.
+	for node := range base.Triples {
+		for _, tr := range base.Triples[node] {
+			if !next.HasTriple(node, tr) {
+				t.Fatalf("base copy %v on node %d dropped by migration", ds.String(tr), node)
+			}
+		}
+	}
+	// AddCount matches what the migration actually carries.
+	if got := int64(prop.Migration.AddCount()); got != prop.AddCount {
+		t.Fatalf("AddCount %d != migration adds %d", prop.AddCount, got)
+	}
+}
+
+// TestPlanMigrationBudget: a replication budget too small for the group
+// rejects it (recorded in SkippedBudget) and yields no proposal; a
+// sufficient budget accepts the same state.
+func TestPlanMigrationBudget(t *testing.T) {
+	ds := hotDataset()
+	key := hotKey(t, ds)
+	base, err := partition.HashSO{}.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{MinBytes: 1, MinQueries: 1, ReplicationBudget: 1e-9})
+	observeHot(a, key, 1)
+	if prop := a.PlanMigration(ds, base); prop != nil {
+		t.Fatalf("zero budget still produced a proposal: %+v", prop)
+	}
+	if got := a.Stats().SkippedBudget; got == 0 {
+		t.Fatal("budget rejection was not recorded")
+	}
+	// Same accumulators, workable budget: accepted.
+	a.cfg.ReplicationBudget = 2
+	if prop := a.PlanMigration(ds, base); prop == nil {
+		t.Fatal("workable budget produced no proposal")
+	}
+}
+
+// TestPlanMigrationBalance: if aligning a group would concentrate its
+// triples past BalanceFactor× the mean fragment size, the group is
+// rejected. All "skew" triples share one object, so alignment funnels
+// them onto a single node.
+func TestPlanMigrationBalance(t *testing.T) {
+	ds := rdf.NewDataset()
+	for i := 0; i < 60; i++ {
+		ds.Add(fmt.Sprintf("s%d", i), "skew", "hub")
+	}
+	ds.Dedup()
+	pred, ok := ds.Dict.Lookup("skew")
+	if !ok {
+		t.Fatal("skew predicate missing")
+	}
+	key := partition.GroupKey{Pred: pred, Pos: partition.PosO}
+	base, err := partition.HashSO{}.Partition(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{MinBytes: 1, MinQueries: 1, BalanceFactor: 1.05, ReplicationBudget: 10})
+	observeHot(a, key, 1)
+	if prop := a.PlanMigration(ds, base); prop != nil {
+		t.Fatalf("skew-concentrating migration passed the balance check: %+v", prop)
+	}
+	if got := a.Stats().SkippedBudget; got == 0 {
+		t.Fatal("balance rejection was not recorded")
+	}
+}
+
+// TestCommitVsFailure: Commit retires the group (no re-proposal, budget
+// spent); RecordFailure leaves it a live candidate for the next round.
+func TestCommitVsFailure(t *testing.T) {
+	ds := hotDataset()
+	key := hotKey(t, ds)
+	base, err := partition.HashSO{}.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{MinBytes: 1, MinQueries: 1})
+	observeHot(a, key, 1)
+	prop := a.PlanMigration(ds, base)
+	if prop == nil {
+		t.Fatal("no proposal")
+	}
+	// A failed application changes nothing: the plan can be recomputed.
+	a.RecordFailure()
+	if st := a.Stats(); st.FailedMigrations != 1 || st.Migrations != 0 || st.AlignedGroups != 0 {
+		t.Fatalf("stats after failure: %+v", st)
+	}
+	again := a.PlanMigration(ds, base)
+	if again == nil {
+		t.Fatal("failed group no longer proposed")
+	}
+	if again.AddCount != prop.AddCount {
+		t.Fatalf("re-plan diverged: %d vs %d adds", again.AddCount, prop.AddCount)
+	}
+	// Commit retires it.
+	a.Commit(again)
+	st := a.Stats()
+	if st.Migrations != 1 || st.MigratedTriples != again.AddCount || st.AlignedGroups != 1 {
+		t.Fatalf("stats after commit: %+v", st)
+	}
+	if !a.Alignment().Aligned(key.Pred, key.Pos) {
+		t.Fatal("committed group not aligned")
+	}
+	if prop := a.PlanMigration(ds, base); prop != nil {
+		t.Fatalf("aligned group proposed again: %+v", prop)
+	}
+}
+
+// TestPlanMigrationNetOfExisting: adds are counted net of copies the
+// base placement already holds — re-planning against a placement that
+// already aligns the group proposes zero-add work, i.e. nothing.
+func TestPlanMigrationNetOfExisting(t *testing.T) {
+	ds := hotDataset()
+	key := hotKey(t, ds)
+	base, err := partition.HashSO{}.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{MinBytes: 1, MinQueries: 1})
+	observeHot(a, key, 1)
+	prop := a.PlanMigration(ds, base)
+	if prop == nil {
+		t.Fatal("no proposal")
+	}
+	migrated, err := base.Migrate(prop.Migration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh advisor over the already-migrated placement finds nothing
+	// left to add for the group.
+	b := New(Config{MinBytes: 1, MinQueries: 1})
+	observeHot(b, key, 1)
+	p2 := b.PlanMigration(ds, migrated)
+	if p2 != nil && p2.AddCount > 0 {
+		t.Fatalf("re-plan against aligned placement wants %d more copies", p2.AddCount)
+	}
+}
+
+// TestConfigDefaults: zero-valued fields take the documented defaults.
+func TestConfigDefaults(t *testing.T) {
+	got := New(Config{}).Config()
+	want := Config{MinBytes: 1 << 20, MinQueries: 3, ReplicationBudget: 0.5, BalanceFactor: 2}
+	if got != want {
+		t.Fatalf("defaults = %+v, want %+v", got, want)
+	}
+	// Explicit values survive.
+	got = New(Config{MinBytes: 7, MinQueries: 2, ReplicationBudget: 0.25, BalanceFactor: 3}).Config()
+	if got.MinBytes != 7 || got.MinQueries != 2 || got.ReplicationBudget != 0.25 || got.BalanceFactor != 3 {
+		t.Fatalf("explicit config rewritten: %+v", got)
+	}
+}

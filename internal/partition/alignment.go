@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"sort"
+
+	"sparqlopt/internal/rdf"
+)
+
+// Pos names a triple position a migration can align on. Only the
+// subject and object participate: they are the join endpoints of the
+// RDF graph (predicates are edge labels, never join keys in the
+// paper's workloads).
+type Pos uint8
+
+const (
+	// PosS aligns triples on their subject.
+	PosS Pos = iota
+	// PosO aligns triples on their object.
+	PosO
+)
+
+// String renders the position for logs and bench reports.
+func (p Pos) String() string {
+	if p == PosS {
+		return "S"
+	}
+	return "O"
+}
+
+// GroupKey identifies one alignable triple group: all triples with
+// predicate Pred, keyed by the term at Pos. The adaptive advisor mines
+// repartition-join traces for hot groups and migrates each group so
+// every member triple has a copy on AlignNode of its key term.
+type GroupKey struct {
+	Pred rdf.TermID
+	Pos  Pos
+}
+
+// AlignNode is the node a triple group member belongs to once its
+// group is aligned: the engine's repartition scatter sends a row to
+// node key%n, so placing the triple there beforehand makes the
+// scatter a no-op. This MUST stay in sync with the engine's scatter
+// hash (plain modulus over the term ID).
+func AlignNode(key rdf.TermID, nodes int) int {
+	return int(uint64(key) % uint64(nodes))
+}
+
+// Alignment is an immutable snapshot of the triple groups whose
+// members are guaranteed to have a copy on their AlignNode. The
+// engine consults it to run aligned scans (emit each matching triple
+// only from its align node) under repartition joins; the guarantee is
+// all-or-nothing per group — a group appears here only after a
+// migration placed every one of its triples.
+//
+// A nil *Alignment is the empty snapshot: no group is aligned.
+type Alignment struct {
+	groups map[GroupKey]struct{}
+}
+
+// Aligned reports whether the (pred, pos) group is fully aligned.
+func (a *Alignment) Aligned(pred rdf.TermID, pos Pos) bool {
+	if a == nil {
+		return false
+	}
+	_, ok := a.groups[GroupKey{Pred: pred, Pos: pos}]
+	return ok
+}
+
+// Len returns the number of aligned groups.
+func (a *Alignment) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.groups)
+}
+
+// Keys returns the aligned group keys in deterministic order.
+func (a *Alignment) Keys() []GroupKey {
+	if a == nil {
+		return nil
+	}
+	out := make([]GroupKey, 0, len(a.groups))
+	for k := range a.groups {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+// With returns a new snapshot with the given groups added; the
+// receiver is unchanged (snapshots already published to the engine
+// stay immutable).
+func (a *Alignment) With(keys ...GroupKey) *Alignment {
+	next := &Alignment{groups: make(map[GroupKey]struct{}, a.Len()+len(keys))}
+	if a != nil {
+		for k := range a.groups {
+			next.groups[k] = struct{}{}
+		}
+	}
+	for _, k := range keys {
+		next.groups[k] = struct{}{}
+	}
+	return next
+}

@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"testing"
+
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/sparql"
+)
+
+func TestTermsMatchShapes(t *testing.T) {
+	v, w := sparql.V("x"), sparql.V("y")
+	p1, p2 := sparql.I("p1"), sparql.I("p2")
+	lit := sparql.L("p1")
+	cases := []struct {
+		a, b sparql.Term
+		want bool
+	}{
+		{v, w, true},   // any variable matches any variable
+		{v, v, true},   // including the same one
+		{v, p1, false}, // variable never matches a constant
+		{p1, v, false},
+		{p1, p1, true},   // equal constants
+		{p1, p2, false},  // different constants
+		{p1, lit, false}, // same text, different kind (IRI vs literal)
+	}
+	for _, c := range cases {
+		if got := termsMatch(c.a, c.b); got != c.want {
+			t.Errorf("termsMatch(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPatternsMatchVariablePredicates(t *testing.T) {
+	// A variable-predicate pattern only matches other variable-predicate
+	// patterns: ?s ?p ?o vs ?a <p1> ?b differ in shape, so the
+	// conservative criterion must reject the pair.
+	varPred := sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . }`).Patterns[0]
+	constPred := sparql.MustParse(`SELECT * WHERE { ?a <p1> ?b . }`).Patterns[0]
+	if patternsMatch(varPred, constPred) {
+		t.Fatal("variable predicate matched a constant predicate")
+	}
+	if !patternsMatch(varPred, sparql.MustParse(`SELECT * WHERE { ?x ?q ?y . }`).Patterns[0]) {
+		t.Fatal("two variable-predicate patterns failed to match")
+	}
+	// Shape match ignores variable names but not constant positions.
+	mixed := sparql.MustParse(`SELECT * WHERE { <s1> ?p ?o . }`).Patterns[0]
+	if patternsMatch(varPred, mixed) {
+		t.Fatal("var subject matched const subject")
+	}
+}
+
+// TestIntersectSharedConstantOnly: patterns that overlap the hot query
+// only through a shared constant still intersect shape-wise, but the
+// component kept must stay anchored at the current vertex — constants
+// elsewhere in the query cannot drag in disconnected patterns.
+func TestIntersectSharedConstantOnly(t *testing.T) {
+	q := sparql.MustParse(`SELECT * WHERE {
+		?a <p1> <hub> .
+		?b <p1> <hub> .
+		?c <p2> ?d .
+	}`)
+	hot := sparql.MustParse(`SELECT * WHERE {
+		?x <p1> <hub> .
+	}`)
+	inter := intersect(q, hot)
+	// Both <hub>-patterns match the hot shape; the p2 pattern does not.
+	if !inter.Has(0) || !inter.Has(1) || inter.Has(2) {
+		t.Fatalf("intersect = %v, want {0,1}", inter)
+	}
+	g := querygraph.NewGraph(q)
+	m := WithHotQueries(HashSO{}, []*sparql.Query{hot}).(*hotMethod)
+	// At ?a the hot-augmented MLQ may include both hub patterns (they
+	// share the <hub> vertex) but never the disconnected p2 pattern.
+	a, ok := g.VertexOf(sparql.V("a"))
+	if !ok {
+		t.Fatal("?a not in graph")
+	}
+	mlq := m.CombineQuery(g, a)
+	if mlq.Has(2) {
+		t.Fatalf("MLQ(?a) = %v pulled in the disconnected pattern", mlq)
+	}
+	if !mlq.Has(0) {
+		t.Fatalf("MLQ(?a) = %v dropped the anchor's own pattern", mlq)
+	}
+}
+
+// TestHotQueryNoAnchorOverlap: a hot query whose intersection does not
+// touch the anchor vertex must leave the base MLQ unchanged.
+func TestHotQueryNoAnchorOverlap(t *testing.T) {
+	q := sparql.MustParse(fig1)
+	g := querygraph.NewGraph(q)
+	// Hot query matches only tp4 (?e <p4> ?g) — not incident to ?b.
+	hot := sparql.MustParse(`SELECT * WHERE { ?e <p4> ?g . }`)
+	m := WithHotQueries(HashSO{}, []*sparql.Query{hot})
+	b, _ := g.VertexOf(sparql.V("b"))
+	if got, base := m.CombineQuery(g, b), (HashSO{}).CombineQuery(g, b); got != base {
+		t.Fatalf("MLQ(?b) changed to %v by a hot query not touching ?b (base %v)", got, base)
+	}
+}
+
+// TestWithHotQueriesEveryBaseMethod: the wrapper must compose with every
+// base method — name suffixed, Partition delegated (coverage intact),
+// and the augmented MLQ never smaller than the base MLQ. (It is not a
+// superset: CombineQuery keeps the LARGER of the base MLQ and the hot
+// component, it does not union them.)
+func TestWithHotQueriesEveryBaseMethod(t *testing.T) {
+	q := sparql.MustParse(fig1)
+	g := querygraph.NewGraph(q)
+	hot := sparql.MustParse(`SELECT * WHERE {
+		?b <p1> ?a .
+		?a <p3> ?e .
+		?e <p4> ?g .
+	}`)
+	ds := chainDataset()
+	for _, base := range []Method{HashSO{}, TwoHopForward{}, TwoHopBidirectional{}, PathBMC{}, UndirectedOneHop{}} {
+		t.Run(base.Name(), func(t *testing.T) {
+			m := WithHotQueries(base, []*sparql.Query{hot})
+			if m.Name() != base.Name()+"+hot" {
+				t.Errorf("Name = %q", m.Name())
+			}
+			p, err := m.Partition(ds, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coverage(t, ds, p)
+			for v := range g.Terms {
+				got, baseMLQ := m.CombineQuery(g, v), base.CombineQuery(g, v)
+				if got.Len() < baseMLQ.Len() {
+					t.Errorf("vertex %d: hot MLQ %v smaller than base MLQ %v", v, got, baseMLQ)
+				}
+				if !got.IsEmpty() && !got.Overlaps(g.Incident(v)) {
+					t.Errorf("vertex %d: hot MLQ %v not anchored at the vertex", v, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWithHotQueriesEmptyList: zero hot queries degrade to the base
+// method exactly.
+func TestWithHotQueriesEmptyList(t *testing.T) {
+	q := sparql.MustParse(fig1)
+	g := querygraph.NewGraph(q)
+	m := WithHotQueries(HashSO{}, nil)
+	for v := range g.Terms {
+		if got, want := m.CombineQuery(g, v), (HashSO{}).CombineQuery(g, v); got != want {
+			t.Fatalf("vertex %d: %v != base %v with no hot queries", v, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package rdf
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // TermID identifies an interned term. IDs are dense, starting at 0.
@@ -71,17 +72,19 @@ func (d *Dict) Len() int { return len(d.terms) }
 // encodes them.
 //
 // A Dataset carries a monotonically increasing epoch, bumped by every
-// mutation through its methods (Add, AddTriple, Dedup). Consumers that
-// cache anything derived from the triples — collected statistics,
-// optimized plans — record the epoch they observed and treat a moved
-// epoch as an invalidation signal. Code that appends to Triples
-// directly bypasses the epoch; all in-tree mutators go through the
-// methods.
+// mutation through its methods (Add, AddTriple, Dedup) and by
+// BumpEpoch. Consumers that cache anything derived from the triples —
+// collected statistics, optimized plans — record the epoch they
+// observed and treat a moved epoch as an invalidation signal. Code
+// that appends to Triples directly bypasses the epoch; all in-tree
+// mutators go through the methods. The epoch is atomic so background
+// invalidators (the adaptive-repartitioning advisor) can flip it while
+// the serving path reads it.
 type Dataset struct {
 	Dict    *Dict
 	Triples []Triple
 
-	epoch uint64
+	epoch atomic.Uint64
 }
 
 // NewDataset returns an empty dataset with a fresh dictionary.
@@ -91,20 +94,27 @@ func NewDataset() *Dataset { return &Dataset{Dict: NewDict()} }
 func (ds *Dataset) Add(s, p, o string) Triple {
 	t := Triple{ds.Dict.Intern(s), ds.Dict.Intern(p), ds.Dict.Intern(o)}
 	ds.Triples = append(ds.Triples, t)
-	ds.epoch++
+	ds.epoch.Add(1)
 	return t
 }
 
 // AddTriple appends an already-encoded triple.
 func (ds *Dataset) AddTriple(t Triple) {
 	ds.Triples = append(ds.Triples, t)
-	ds.epoch++
+	ds.epoch.Add(1)
 }
 
 // Epoch returns the dataset's mutation counter. Two calls returning
 // the same value bracket a span with no method-level mutations, so
 // statistics or plans derived in between are still valid.
-func (ds *Dataset) Epoch() uint64 { return ds.epoch }
+func (ds *Dataset) Epoch() uint64 { return ds.epoch.Load() }
+
+// BumpEpoch advances the epoch without changing the triples — the
+// invalidation hook for consumers whose cached artifacts depend on
+// more than the triple set (e.g. plans costed under a data placement
+// that a background migration just changed). Safe to call concurrently
+// with Epoch readers.
+func (ds *Dataset) BumpEpoch() uint64 { return ds.epoch.Add(1) }
 
 // Len returns the number of triples.
 func (ds *Dataset) Len() int { return len(ds.Triples) }
@@ -119,7 +129,7 @@ func (ds *Dataset) Dedup() {
 		}
 	}
 	ds.Triples = out
-	ds.epoch++
+	ds.epoch.Add(1)
 }
 
 // String renders a triple using the dataset's dictionary, for debugging.

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"sparqlopt/internal/cost"
@@ -46,6 +47,7 @@ import (
 	"sparqlopt/internal/obs"
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/partition"
+	"sparqlopt/internal/partition/adaptive"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/plancache"
 	"sparqlopt/internal/querygraph"
@@ -90,6 +92,9 @@ type (
 	Span = obs.Span
 	// SlowQueryEntry is one slow-query log record.
 	SlowQueryEntry = obs.SlowQueryEntry
+	// AdvisorStats is a snapshot of the adaptive-repartitioning
+	// advisor's counters (see System.AdvisorStats).
+	AdvisorStats = adaptive.Stats
 	// PhaseError annotates a cancellation with the query phase it
 	// interrupted; errors.Is(err, context.Canceled/DeadlineExceeded)
 	// still works through it.
@@ -235,6 +240,12 @@ type System struct {
 	adm     *resilience.Admission   // nil = admission control disabled
 	budget  *resilience.Budget      // nil = memory budgets disabled
 	resInst *resilience.Instruments // nil when observability is disabled
+
+	advisor      *adaptive.Advisor // nil = adaptive repartitioning disabled
+	adaptiveSync bool              // apply migrations on the serving goroutine
+	placeMu      sync.RWMutex      // guards placement once migrations can swap it
+	migMu        sync.Mutex        // serializes migration rounds
+	migWG        sync.WaitGroup    // tracks in-flight background migrations
 }
 
 // obsState bundles the observability wiring of one System: the metrics
@@ -262,6 +273,7 @@ type openConfig struct {
 	memPerQuery   int64
 	memTotal      int64
 	obs           *obsConfig
+	adaptive      *AdaptiveConfig
 }
 
 type obsConfig struct {
@@ -350,6 +362,42 @@ func WithMemoryBudget(perQuery, total int64) Option {
 // default (and rate 1) is exact collection.
 func WithSampledStats(rate float64) Option { return func(c *openConfig) { c.sampleRate = rate } }
 
+// AdaptiveConfig configures the adaptive-repartitioning advisor. Zero
+// fields take defaults: 1 MiB trigger, 3 recurring queries, a
+// replication budget of 0.5× the dataset, balance factor 2.
+type AdaptiveConfig struct {
+	// MinShuffledBytes is the per-group trigger: a (predicate,
+	// position) triple group must accumulate this much OBSERVED
+	// shuffle volume before it becomes a migration candidate.
+	MinShuffledBytes int64
+	// MinQueries requires the group to recur across this many queries.
+	MinQueries int
+	// ReplicationBudget caps the triple copies all migrations together
+	// may add, as a fraction of the dataset size.
+	ReplicationBudget float64
+	// BalanceFactor rejects a migration that would leave any node's
+	// fragment larger than this factor times the mean fragment size.
+	BalanceFactor float64
+	// Synchronous applies migrations on the serving goroutine that
+	// triggered them instead of in the background — deterministic for
+	// tests and benchmarks; production systems leave it false.
+	Synchronous bool
+}
+
+// WithAdaptivePartitioning enables the online repartitioning advisor:
+// every completed query's observed repartition shuffles feed the
+// advisor, and when a (predicate, join-position) triple group crosses
+// the trigger the advisor migrates the group — adding, within the
+// replication and balance budgets, a copy of each group triple on the
+// node the repartition scatter would send it to. The engine then
+// serves those scans aligned (zero shuffle) and the dataset epoch is
+// bumped so cached plans re-optimize against fresh placement-aware
+// costs. Migrations only add copies; results stay bit-identical
+// before, during and after (see System.AdvisorStats).
+func WithAdaptivePartitioning(ac AdaptiveConfig) Option {
+	return func(c *openConfig) { c.adaptive = &ac }
+}
+
 // ObsOption configures WithObservability.
 type ObsOption func(*obsConfig)
 
@@ -419,6 +467,15 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 	if cfg.maxConcurrent > 0 {
 		s.adm = resilience.NewAdmission(cfg.maxConcurrent, cfg.maxQueued)
 	}
+	if cfg.adaptive != nil {
+		s.advisor = adaptive.New(adaptive.Config{
+			MinBytes:          cfg.adaptive.MinShuffledBytes,
+			MinQueries:        cfg.adaptive.MinQueries,
+			ReplicationBudget: cfg.adaptive.ReplicationBudget,
+			BalanceFactor:     cfg.adaptive.BalanceFactor,
+		})
+		s.adaptiveSync = cfg.adaptive.Synchronous
+	}
 	if cfg.obs != nil {
 		r := cfg.obs.registry
 		if r == nil {
@@ -442,6 +499,15 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		s.resInst = resilience.NewInstruments(r)
 		s.resInst.ObserveAdmission(s.adm)
 		s.resInst.ObserveBudget(s.budget)
+		if s.advisor != nil {
+			adv := s.advisor
+			r.GaugeFunc("adaptive_migrations_total", "Migration rounds the adaptive advisor applied.",
+				func() float64 { return float64(adv.Stats().Migrations) })
+			r.GaugeFunc("adaptive_migrated_triples_total", "Triple copies added by adaptive migrations.",
+				func() float64 { return float64(adv.Stats().MigratedTriples) })
+			r.GaugeFunc("adaptive_aligned_groups", "Triple groups currently aligned by the advisor.",
+				func() float64 { return float64(adv.Stats().AlignedGroups) })
+		}
 	}
 	return s, nil
 }
@@ -450,9 +516,23 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 func (s *System) Method() Method { return s.method }
 
 // ReplicationFactor reports how much the partitioning replicated the
-// data across nodes.
+// data across nodes — including any copies added by adaptive
+// migrations.
 func (s *System) ReplicationFactor() float64 {
-	return s.placement.ReplicationFactor(s.ds.Len())
+	return s.currentPlacement().ReplicationFactor(s.ds.Len())
+}
+
+// currentPlacement returns the live placement; migrations swap it.
+func (s *System) currentPlacement() *partition.Placement {
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	return s.placement
+}
+
+func (s *System) setPlacement(p *partition.Placement) {
+	s.placeMu.Lock()
+	s.placement = p
+	s.placeMu.Unlock()
 }
 
 // MetricsRegistry returns the system's metrics registry, nil when
@@ -683,6 +763,8 @@ func (s *System) serveObserved(ctx context.Context, src string, q *Query, set op
 					e.Rows = len(out.Rows)
 					e.FlatRows = out.FlatRowCount()
 					e.Factorized = out.Factorized
+					e.ShuffledRows = out.ShuffledRows()
+					e.ShuffledBytes = out.ShuffledBytes()
 					e.CacheHit = out.CacheInfo.Hit
 					e.Degraded = out.Degraded
 				}
@@ -733,8 +815,133 @@ func (s *System) dispatch(ctx context.Context, q *Query, set opt.RunSettings, tr
 	if len(degraded) > 0 {
 		s.resInst.QueryDegraded()
 	}
+	s.observeAdaptive(q, out)
 	return out, nil
 }
+
+// observeAdaptive feeds one completed run's observed repartition
+// shuffles to the advisor and, when a group crosses the migration
+// trigger, kicks off a migration round — on this goroutine when the
+// advisor is synchronous, in the background otherwise (serving is
+// never blocked; in-flight queries keep their store snapshot).
+func (s *System) observeAdaptive(q *Query, out *ExecResult) {
+	if s.advisor == nil {
+		return
+	}
+	groups := s.engine.ShuffleGroups(out, q)
+	if len(groups) == 0 {
+		return
+	}
+	obsv := make([]adaptive.Observation, len(groups))
+	for i, g := range groups {
+		obsv[i] = adaptive.Observation{
+			Key:     partition.GroupKey{Pred: g.Pred, Pos: g.Pos},
+			Rows:    g.Rows,
+			Bytes:   g.Bytes,
+			Aligned: g.Aligned,
+		}
+	}
+	if !s.advisor.Observe(obsv) {
+		return
+	}
+	if s.adaptiveSync {
+		s.migrate()
+		return
+	}
+	s.migWG.Add(1)
+	go func() {
+		defer s.migWG.Done()
+		s.migrate()
+	}()
+}
+
+// migrationTripleBytes is the reservation estimate per triple a
+// migration touches while rebuilding node stores: the triple itself
+// (3 TermIDs) plus three index postings and their map overhead.
+const migrationTripleBytes = 48
+
+// migrate plans and applies one migration round. Rounds are
+// serialized; a failure (memory-budget trip, placement mismatch,
+// recovered panic) is isolated to the round — serving continues on the
+// old placement and the advisor keeps the groups as candidates.
+func (s *System) migrate() {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	var err error
+	func() {
+		defer resilience.CatchPanic(&err, nil)
+		err = s.migrateLocked()
+	}()
+	if err != nil {
+		s.advisor.RecordFailure()
+	}
+}
+
+func (s *System) migrateLocked() error {
+	placement := s.currentPlacement()
+	prop := s.advisor.PlanMigration(s.ds, placement)
+	if prop == nil {
+		return nil
+	}
+	// The transient store rebuilds are charged against the shared
+	// memory budget exactly like query arenas, so a migration can never
+	// OOM a serving node: if queries hold the memory, the round fails
+	// and is retried when a later query re-triggers it.
+	g := s.budget.NewGauge()
+	defer g.Reset()
+	var touched int64
+	for node, adds := range prop.Migration.Adds {
+		if len(adds) > 0 {
+			touched += int64(len(placement.Triples[node])) + int64(len(adds))
+		}
+	}
+	if err := g.Reserve("migration", touched*migrationTripleBytes); err != nil {
+		return err
+	}
+	next, err := placement.Migrate(prop.Migration)
+	if err != nil {
+		return err
+	}
+	s.engine.ApplyMigration(prop.Migration, prop.Alignment)
+	s.setPlacement(next)
+	s.advisor.Commit(prop)
+	// Flip the epoch: cached plans and statistics snapshots were
+	// derived under the old placement; the next query of each shape
+	// re-optimizes against the new one.
+	s.ds.BumpEpoch()
+	return nil
+}
+
+// AdvisorStats returns the adaptive advisor's counters; the zero
+// snapshot when adaptive repartitioning is disabled.
+func (s *System) AdvisorStats() AdvisorStats {
+	if s.advisor == nil {
+		return AdvisorStats{}
+	}
+	return s.advisor.Stats()
+}
+
+// AdvisorConfig returns the advisor's effective configuration — zero
+// AdaptiveConfig fields resolved to their defaults — and the zero value
+// when adaptive repartitioning is disabled.
+func (s *System) AdvisorConfig() AdaptiveConfig {
+	if s.advisor == nil {
+		return AdaptiveConfig{}
+	}
+	cfg := s.advisor.Config()
+	return AdaptiveConfig{
+		MinShuffledBytes:  cfg.MinBytes,
+		MinQueries:        cfg.MinQueries,
+		ReplicationBudget: cfg.ReplicationBudget,
+		BalanceFactor:     cfg.BalanceFactor,
+		Synchronous:       s.adaptiveSync,
+	}
+}
+
+// WaitForMigrations blocks until every background migration round
+// kicked off so far has finished — for tests and benchmarks that need
+// a quiesced system; serving never requires it.
+func (s *System) WaitForMigrations() { s.migWG.Wait() }
 
 // degradable reports whether a planning failure is worth retrying with
 // a cheaper algorithm: the call itself is still alive (its context has
