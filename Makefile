@@ -51,26 +51,30 @@ obs:
 
 # The resilience gate: a doubled, race-instrumented run of the chaos
 # suite (64 goroutines injecting deterministic faults into a shared
-# System) plus a short sweep over extra fault-injection seeds. The
-# suite reads CHAOS_SEED, so a failing seed reproduces with
-# `CHAOS_SEED=n go test -run TestChaosServing -race .`.
+# System) plus a short sweep over extra fault-injection seeds — both
+# for the serving mix and for the mixed read/write pass that panics
+# the write-apply path (rdf/snapshot). The suites read CHAOS_SEED, so
+# a failing seed reproduces with
+# `CHAOS_SEED=n go test -run TestChaosServing -race .` (or
+# TestChaosIngest).
 chaos:
 	$(GO) test -run 'TestChaos' -race -count=2 .
 	for seed in 2 3 7; do \
-		CHAOS_SEED=$$seed $(GO) test -run 'TestChaosServing' -race . || exit 1; \
+		CHAOS_SEED=$$seed $(GO) test -run 'TestChaosServing|TestChaosIngest' -race . || exit 1; \
 	done
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # One iteration of the execution benchmarks plus a quick pass of the
-# adaptive-repartitioning experiment: catches compile or runtime
-# breakage in the bench harnesses without measuring anything. The
-# adaptive pass also re-checks its bit-identical-results invariant on
-# every gate run (its JSON artifact is suppressed).
+# adaptive-repartitioning and serving-under-ingest experiments:
+# catches compile or runtime breakage in the bench harnesses without
+# measuring anything. Both passes also re-check their bit-identical-
+# results invariants on every gate run (JSON artifacts suppressed).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkExecute -benchtime=1x .
 	$(GO) run ./cmd/benchrunner -experiment adaptive -quick -adaptivejson ''
+	$(GO) run ./cmd/benchrunner -experiment ingest -quick -ingestjson ''
 
 # Short fuzzing passes over the parser and the plan-cache
 # fingerprinter, seeded from the checked-in corpora. 5 s each: enough

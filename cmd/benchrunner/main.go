@@ -46,6 +46,8 @@
 //	             (default BENCH_factorized.json; empty disables the file)
 //	-adaptivejson  output path of the adaptive-repartitioning profile
 //	             (default BENCH_adaptive.json; empty disables the file)
+//	-ingestjson  output path of the serving-under-ingest profile
+//	             (default BENCH_ingest.json; empty disables the file)
 //	-metrics     append a Prometheus metrics snapshot to the output of
 //	             the serving-path experiments (engine, plancache,
 //	             obsoverhead)
@@ -80,6 +82,7 @@ func main() {
 		overloadJSON = flag.String("overloadjson", "BENCH_overload.json", "overload experiment output path (empty = no file)")
 		factJSON     = flag.String("factorizedjson", "BENCH_factorized.json", "factorized-execution profile output path (empty = no file)")
 		adaptJSON    = flag.String("adaptivejson", "BENCH_adaptive.json", "adaptive-repartitioning profile output path (empty = no file)")
+		ingestJSON   = flag.String("ingestjson", "BENCH_ingest.json", "serving-under-ingest profile output path (empty = no file)")
 		metrics      = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
 	)
 	flag.Parse()
@@ -114,8 +117,9 @@ func main() {
 		"overload":    func(cfg bench.Config) error { return bench.OverloadBench(cfg, *overloadJSON) },
 		"factorized":  func(cfg bench.Config) error { return bench.FactorizedBench(cfg, *factJSON) },
 		"adaptive":    func(cfg bench.Config) error { return bench.AdaptiveBench(cfg, *adaptJSON) },
+		"ingest":      func(cfg bench.Config) error { return bench.IngestBench(cfg, *ingestJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized", "adaptive"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized", "adaptive", "ingest"}
 
 	run := func(name string) {
 		start := time.Now()

@@ -46,6 +46,10 @@
 //	            mode with -plancache) trigger background migrations
 //	            that co-locate the hot triple groups; advisor counters
 //	            print on exit. Applies to the td-* algorithms
+//	-decay-half-life  with -adaptive: halve each group's accumulated
+//	            shuffle weight every N observed queries, so migrations
+//	            track the current workload and cold groups expire
+//	            (0 = accumulate forever)
 //	-demo       use a generated LUBM dataset and query L8
 //
 // The observability flags (-trace, -metrics, -slowlog) route through
@@ -98,6 +102,7 @@ func main() {
 		maxQueued = flag.Int("max-queued", 0, "admission control: max queries queued for a slot (with -max-concurrent)")
 		memBudget = flag.Int64("mem-budget", 0, "per-query memory budget in bytes for materialized state (0 = unlimited)")
 		adaptive  = flag.Bool("adaptive", false, "enable the adaptive repartitioning advisor (migrates hot triple groups as the workload repeats; advisor stats print on exit)")
+		decay     = flag.Int("decay-half-life", 0, "advisor accumulator half-life in observed queries: shuffle weights halve every N queries and cold groups expire (0 = no decay; with -adaptive)")
 	)
 	flag.Parse()
 	if err := run(runConfig{
@@ -107,7 +112,7 @@ func main() {
 		repl: *repl, parallelism: *parallel, planCache: *planCache,
 		trace: *trace, metrics: *metrics, slowlog: *slowlog,
 		maxConcurrent: *maxConc, maxQueued: *maxQueued, memBudget: *memBudget,
-		adaptive: *adaptive,
+		adaptive: *adaptive, decayHalfLife: *decay,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
 		os.Exit(1)
@@ -126,6 +131,7 @@ type runConfig struct {
 	maxConcurrent, maxQueued                 int
 	memBudget                                int64
 	adaptive                                 bool
+	decayHalfLife                            int
 }
 
 // observing reports whether any observability flag is set.
@@ -259,7 +265,9 @@ func openSystem(cfg runConfig, ds *rdf.Dataset, method partition.Method) (*sparq
 		opts = append(opts, sparqlopt.WithMemoryBudget(cfg.memBudget, 0))
 	}
 	if cfg.adaptive {
-		opts = append(opts, sparqlopt.WithAdaptivePartitioning(sparqlopt.AdaptiveConfig{}))
+		opts = append(opts, sparqlopt.WithAdaptivePartitioning(sparqlopt.AdaptiveConfig{
+			DecayHalfLife: cfg.decayHalfLife,
+		}))
 	}
 	if cfg.metrics || cfg.slowlog > 0 {
 		var obsOpts []sparqlopt.ObsOption
@@ -298,6 +306,10 @@ func finishObserved(cfg runConfig, sys *sparqlopt.System) error {
 		st := sys.AdvisorStats()
 		fmt.Printf("\nadaptive advisor: %d queries observed, %d groups tracked, %d migrations (%d triples, %d groups aligned), replication factor %.2f\n",
 			st.ObservedQueries, st.TrackedGroups, st.Migrations, st.MigratedTriples, st.AlignedGroups, sys.ReplicationFactor())
+		if st.DecayHalfLife > 0 {
+			fmt.Printf("adaptive decay: half-life %d queries, %d cold groups expired\n",
+				st.DecayHalfLife, st.ExpiredGroups)
+		}
 	}
 	if cfg.slowlog > 0 {
 		entries := sys.SlowQueries()

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sparqlopt"
+	"sparqlopt/internal/workload/lubm"
+)
+
+// ingestQueries are the read workload of the serving-under-ingest
+// experiment: four shapes over pairwise-distinct LUBM predicate sets,
+// so a write attributed to one predicate leaves three of the four
+// shapes provably untouched.
+var ingestQueries = []struct{ name, text string }{
+	{"takes", `
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT * WHERE { ?s ub:takesCourse ?c . ?t ub:teacherOf ?c . }`},
+	{"advisor", `
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT * WHERE { ?x ub:advisor ?p . ?p ub:worksFor ?d . }`},
+	{"member", `
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT * WHERE { ?x ub:memberOf ?d . ?d ub:subOrganizationOf ?u . }`},
+	{"author", `
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT * WHERE { ?p ub:publicationAuthor ?a . ?a ub:name ?n . }`},
+}
+
+// ingestNoisePred is the predicate the sustained write stream targets;
+// no read shape touches it, so a scoped cache must retain everything.
+const ingestNoisePred = "http://bench/ingest#observedAt"
+
+// ingestOverlapPred is written every overlapEvery-th round; it is a
+// predicate of the "takes" shape, so exactly that shape must
+// re-optimize on those rounds.
+const ingestOverlapPred = lubm.UB + "takesCourse"
+
+// IngestSystemStats is one system's side of the A/B comparison.
+type IngestSystemStats struct {
+	Name string `json:"name"`
+	// Read-only warm p99 — the baseline the mixed-phase latency is
+	// held against.
+	ReadOnlyP99Millis float64 `json:"read_only_p99_ms"`
+	// Mixed-phase (one write per round, interleaved reads) latency.
+	MixedP99Millis float64 `json:"mixed_p99_ms"`
+	// P99Ratio is mixed / read-only: the serving cost of ingest.
+	P99Ratio float64 `json:"p99_ratio"`
+	// MixedHitRate is the plan-cache hit rate across the mixed phase.
+	MixedHitRate float64 `json:"mixed_hit_rate"`
+	// UntouchedReopts counts mixed-phase runs that re-entered the
+	// optimizer although no write since the shape's previous run
+	// touched its predicates. Scoped invalidation must keep this 0.
+	UntouchedReopts int64 `json:"untouched_reopts"`
+	// Cumulative cache counters at the end of the run.
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	Retained      int64 `json:"retained"`
+	// PendingWrites after the final flush; must be 0.
+	PendingWrites int `json:"pending_writes"`
+	// Identical: every post-ingest query returned rows bit-identical
+	// to the single-node reference over the final dataset.
+	Identical bool `json:"identical"`
+}
+
+// ingestReport is the BENCH_ingest.json payload.
+type ingestReport struct {
+	Meta
+	Rounds        int               `json:"rounds"`
+	Writes        int               `json:"writes"`
+	OverlapWrites int               `json:"overlap_writes"`
+	TriplesBefore int               `json:"triples_before"`
+	TriplesAfter  int               `json:"triples_after"`
+	Scoped        IngestSystemStats `json:"scoped"`
+	Full          IngestSystemStats `json:"full"`
+	// Headline: scoped hit rate under sustained ingest vs the
+	// full-invalidation seed behavior on the identical workload.
+	HitRateGain float64 `json:"hit_rate_gain"` // scoped - full
+}
+
+// IngestBench measures serving under sustained ingest: two identically
+// configured systems share one dataset and one write stream — one with
+// predicate-scoped plan-cache invalidation (the default), one with the
+// seed's epoch-wide invalidation — while four read shapes run every
+// round. Most writes target a predicate no read shape touches; every
+// eighth write touches the "takes" shape. The scoped system must keep
+// its warm hit rate and p99 (acceptance: hit rate >= 0.9, p99 within
+// 1.5x of the read-only baseline) while the full-invalidation twin
+// re-optimizes every shape after every write. Both systems' rows are
+// verified bit-identical to the single-node reference over the final
+// dataset. Writes BENCH_ingest.json to jsonPath (skipped when empty).
+func IngestBench(cfg Config, jsonPath string) error {
+	unis := 3
+	rounds := 120
+	baselineRounds := 40
+	if cfg.Quick {
+		unis = 2
+		rounds = 40
+		baselineRounds = 15
+	}
+	const overlapEvery = 8
+	ds := lubm.Generate(lubm.Config{Universities: unis, Seed: cfg.seed(), Compact: cfg.Quick})
+	common := func() []sparqlopt.Option {
+		return []sparqlopt.Option{
+			sparqlopt.WithNodes(cfg.nodes()),
+			sparqlopt.WithParallelism(cfg.Parallelism),
+			sparqlopt.WithPlanCache(64),
+		}
+	}
+	scopedSys, err := sparqlopt.Open(ds, common()...)
+	if err != nil {
+		return err
+	}
+	fullSys, err := sparqlopt.Open(ds, append(common(), sparqlopt.WithScopedInvalidation(false))...)
+	if err != nil {
+		return err
+	}
+	systems := []struct {
+		name string
+		sys  *sparqlopt.System
+		st   *IngestSystemStats
+	}{
+		{"scoped", scopedSys, &IngestSystemStats{Name: "scoped"}},
+		{"full", fullSys, &IngestSystemStats{Name: "full"}},
+	}
+	ctx := context.Background()
+	report := ingestReport{Meta: cfg.meta(), Rounds: rounds, TriplesBefore: ds.Len()}
+
+	// Warm both caches, then measure the read-only baseline.
+	for _, s := range systems {
+		for _, q := range ingestQueries {
+			for i := 0; i < 2; i++ {
+				if _, err := s.sys.Run(ctx, q.text); err != nil {
+					return fmt.Errorf("warm %s/%s: %w", s.name, q.name, err)
+				}
+			}
+		}
+		var lat []time.Duration
+		for r := 0; r < baselineRounds; r++ {
+			for _, q := range ingestQueries {
+				start := time.Now()
+				if _, err := s.sys.Run(ctx, q.text); err != nil {
+					return fmt.Errorf("baseline %s/%s: %w", s.name, q.name, err)
+				}
+				lat = append(lat, time.Since(start))
+			}
+		}
+		s.st.ReadOnlyP99Millis = percentileMillis(lat, 0.99)
+	}
+
+	// Sustained mixed phase: one write, then every shape, per round.
+	// dirty[i] marks shapes whose predicates a write touched since
+	// their last run; a miss on a clean shape is an untouched-reopt.
+	for si, s := range systems {
+		dirty := make([]bool, len(ingestQueries))
+		var lat []time.Duration
+		var runs, hits int64
+		for r := 0; r < rounds; r++ {
+			if si == 0 {
+				// One shared dataset: the first system's loop commits
+				// the writes; the second replays the identical rounds
+				// against the already-grown data with its own writes.
+				ingestWrite(ds, "a", r, overlapEvery)
+			} else {
+				ingestWrite(ds, "b", r, overlapEvery)
+			}
+			if r%overlapEvery == overlapEvery-1 {
+				dirty[0] = true // the "takes" shape
+				if si == 0 {
+					report.OverlapWrites++
+				}
+			}
+			for i, q := range ingestQueries {
+				start := time.Now()
+				res, err := s.sys.Run(ctx, q.text)
+				if err != nil {
+					return fmt.Errorf("mixed %s/%s: %w", s.name, q.name, err)
+				}
+				lat = append(lat, time.Since(start))
+				runs++
+				if res.CacheInfo.Hit {
+					hits++
+				} else if !dirty[i] {
+					s.st.UntouchedReopts++
+				}
+				dirty[i] = false
+			}
+			if si == 0 {
+				report.Writes++
+			}
+		}
+		s.st.MixedP99Millis = percentileMillis(lat, 0.99)
+		if s.st.ReadOnlyP99Millis > 0 {
+			s.st.P99Ratio = s.st.MixedP99Millis / s.st.ReadOnlyP99Millis
+		}
+		if runs > 0 {
+			s.st.MixedHitRate = float64(hits) / float64(runs)
+		}
+	}
+
+	// Quiesce and verify: no deferred applies, and both systems answer
+	// every shape bit-identically to the single-node reference over
+	// the final dataset.
+	report.TriplesAfter = ds.Len()
+	for _, s := range systems {
+		s.st.Identical = true
+		if !s.sys.FlushWrites() {
+			s.st.Identical = false
+		}
+		s.st.PendingWrites = s.sys.PendingWrites()
+		for _, q := range ingestQueries {
+			pq, err := sparqlopt.ParseQuery(q.text)
+			if err != nil {
+				return err
+			}
+			want, err := sparqlopt.Reference(ds, pq)
+			if err != nil {
+				return err
+			}
+			got, err := s.sys.Run(ctx, q.text)
+			if err != nil {
+				return fmt.Errorf("verify %s/%s: %w", s.name, q.name, err)
+			}
+			if !rowsEqual(got.Rows, want.Rows) {
+				s.st.Identical = false
+			}
+		}
+		cs := s.sys.CacheStats()
+		s.st.Hits, s.st.Misses = cs.Hits, cs.Misses
+		s.st.Invalidations, s.st.Retained = cs.Invalidations, cs.Retained
+	}
+	report.Scoped = *systems[0].st
+	report.Full = *systems[1].st
+	report.HitRateGain = report.Scoped.MixedHitRate - report.Full.MixedHitRate
+
+	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Serving under ingest (%d writes over %d rounds, %d overlap)\n",
+		report.Writes, report.Rounds, report.OverlapWrites)
+	fmt.Fprintln(w, "System\tHitRate\tReadP99\tMixedP99\tRatio\tUntouchedReopts\tRetained\tIdentical")
+	for _, s := range systems {
+		fmt.Fprintf(w, "%s\t%.3f\t%.2fms\t%.2fms\t%.2fx\t%d\t%d\t%v\n",
+			s.name, s.st.MixedHitRate, s.st.ReadOnlyP99Millis, s.st.MixedP99Millis,
+			s.st.P99Ratio, s.st.UntouchedReopts, s.st.Retained, s.st.Identical)
+	}
+	w.Flush()
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out(), "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// ingestWrite commits one write of round r: mostly the noise predicate
+// untouched by every read shape, every overlapEvery-th round a fresh
+// takesCourse edge (touching the "takes" shape).
+func ingestWrite(ds *sparqlopt.Dataset, tag string, r, overlapEvery int) {
+	if r%overlapEvery == overlapEvery-1 {
+		ds.Add(fmt.Sprintf("http://bench/ingest#student-%s-%d", tag, r),
+			ingestOverlapPred,
+			fmt.Sprintf("http://bench/ingest#course-%s-%d", tag, r))
+		return
+	}
+	ds.Add(fmt.Sprintf("http://bench/ingest#event-%s-%d", tag, r),
+		ingestNoisePred,
+		fmt.Sprintf("\"t%d\"", r))
+}

@@ -165,17 +165,28 @@ type ExecEnv struct {
 	// Faults, when non-nil, arms deterministic fault injection at the
 	// engine's sites (chaos tests only; nil in production).
 	Faults *faultinject.Set
-	// snap is the store snapshot this execution reads. ExecuteEnv
-	// captures it once at entry, so a background migration swapping
-	// the engine's stores mid-query never gives one query two views.
-	snap *storeSnap
+	// Snap is the store snapshot this execution reads. ExecuteEnv
+	// captures it once at entry when nil, so a background migration or
+	// ingest commit swapping the engine's stores mid-query never gives
+	// one query two views. A caller that must coordinate the engine
+	// view with other pinned state (the serving path pins the dataset
+	// snapshot, statistics epoch and store view together) captures
+	// Engine.Snapshot() itself and passes it here.
+	Snap *Snap
 }
 
-// storeSnap is one immutable view of the partitioned data: the
-// per-node base stores, the per-node migration overlays, and the
-// alignment table the current placement guarantees. Background
-// migrations build a fresh snapshot and swap it in atomically; queries
-// in flight keep the one they started with.
+// maxDeltaChunks bounds the broadcast-ingest delta chunk list: when a
+// commit would exceed it, all chunks are merged into one store, so
+// scans touch O(1) delta indexes regardless of how many commits have
+// accumulated.
+const maxDeltaChunks = 16
+
+// Snap is one immutable view of the partitioned data: the per-node
+// base stores, the per-node migration overlays, the alignment table
+// the current placement guarantees, and the broadcast-ingest delta.
+// Writers (background migrations, ingest commits) build a fresh
+// snapshot and swap it in atomically; queries in flight keep the one
+// they started with.
 //
 // Base stores hold the partitioning method's original fragments and
 // are NEVER rebuilt: normal scans read only them, so queries outside
@@ -183,20 +194,48 @@ type ExecEnv struct {
 // migration. The copies a migration adds live in the overlays, which
 // only aligned scans consult — the one context where those copies can
 // be useful (each is a duplicate of a base triple somewhere else).
-type storeSnap struct {
+//
+// Triples ingested after the placement was computed live in the delta
+// chunk stores, which are logically replicated to every node: scans
+// match the delta once and surface its rows on all nodes, and the
+// engine's set semantics (scatter/gather/root dedup) collapse the
+// copies. Replication preserves every local-join guarantee the
+// optimizer derives from the base placement — a co-located match
+// involving a delta triple is co-located on every node.
+type Snap struct {
 	stores []*store
 	// overlays[node] indexes the migration adds on node; nil when the
 	// node has none (and the whole slice is nil before any migration).
 	overlays []*store
 	align    *partition.Alignment
+	// delta holds the broadcast-ingest chunk stores, oldest first.
+	delta []*store
+	// data is the dataset snapshot this store view was built from; the
+	// serving path reads its epoch and statistics from here so one
+	// atomic load pins everything consistently.
+	data *rdf.Snapshot
 }
 
 // overlay returns node's migration overlay, nil when it has none.
-func (s *storeSnap) overlay(node int) *store {
+func (s *Snap) overlay(node int) *store {
 	if s.overlays == nil {
 		return nil
 	}
 	return s.overlays[node]
+}
+
+// Data returns the dataset snapshot this store view corresponds to
+// (nil when the engine was built without SetData).
+func (s *Snap) Data() *rdf.Snapshot { return s.data }
+
+// DeltaLen returns the number of broadcast-ingested triples in the
+// view.
+func (s *Snap) DeltaLen() int {
+	n := 0
+	for _, st := range s.delta {
+		n += len(st.triples)
+	}
+	return n
 }
 
 // Engine executes plans over a partitioned dataset, one goroutine per
@@ -204,9 +243,12 @@ func (s *storeSnap) overlay(node int) *store {
 // across independent plan subtrees.
 type Engine struct {
 	dict *rdf.Dict
-	// snap is the current store snapshot; swapped whole by
-	// ApplyMigration, never mutated in place.
-	snap atomic.Pointer[storeSnap]
+	// mu serializes snapshot swaps (migrations, ingest commits,
+	// SetData); readers load snap without it.
+	mu sync.Mutex
+	// snap is the current store snapshot; swapped whole under mu,
+	// never mutated in place.
+	snap atomic.Pointer[Snap]
 	// sem is the subtree-parallelism semaphore: nil means sequential
 	// child evaluation, otherwise it holds parallelism-1 slots (the
 	// submitting goroutine is the extra worker).
@@ -225,9 +267,60 @@ func New(dict *rdf.Dict, placement *partition.Placement) *Engine {
 	for i, ts := range placement.Triples {
 		stores[i] = newStore(ts)
 	}
-	e.snap.Store(&storeSnap{stores: stores})
+	e.snap.Store(&Snap{stores: stores})
 	e.SetParallelism(0)
 	return e
+}
+
+// Snapshot returns the engine's current immutable store view. The
+// serving path captures it once per query and passes it through
+// ExecEnv.Snap, so the epoch, statistics and scans of one query all
+// describe the same state.
+func (e *Engine) Snapshot() *Snap { return e.snap.Load() }
+
+// SetData attaches the dataset snapshot the current store view was
+// built from (see Snap.Data). Called once at open, and again after
+// epoch-only bumps (migrations) publish a fresh dataset snapshot.
+func (e *Engine) SetData(data *rdf.Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.snap.Load()
+	e.snap.Store(&Snap{stores: old.stores, overlays: old.overlays, align: old.align, delta: old.delta, data: data})
+}
+
+// ApplyIngest folds one committed write delta into the engine:
+// the new triples become a broadcast delta chunk (visible on every
+// node; see Snap), and the attached dataset snapshot becomes the
+// view's pinned data. Chunks are merged into one store once their
+// count passes maxDeltaChunks, so scan overhead stays O(1) in commit
+// count. Queries in flight keep their captured snapshot — an ingest
+// commit never blocks or tears a running query.
+func (e *Engine) ApplyIngest(delta []rdf.Triple, data *rdf.Snapshot) {
+	if len(delta) == 0 {
+		if data != nil {
+			e.SetData(data)
+		}
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.snap.Load()
+	chunk := make([]rdf.Triple, len(delta))
+	copy(chunk, delta)
+	var chunks []*store
+	if len(old.delta) >= maxDeltaChunks {
+		merged := make([]rdf.Triple, 0, old.DeltaLen()+len(chunk))
+		for _, st := range old.delta {
+			merged = append(merged, st.triples...)
+		}
+		merged = append(merged, chunk...)
+		chunks = []*store{newStore(merged)}
+	} else {
+		chunks = make([]*store, len(old.delta), len(old.delta)+1)
+		copy(chunks, old.delta)
+		chunks = append(chunks, newStore(chunk))
+	}
+	e.snap.Store(&Snap{stores: old.stores, overlays: old.overlays, align: old.align, delta: chunks, data: data})
 }
 
 // ApplyMigration swaps in a new store snapshot with the migration's
@@ -243,10 +336,25 @@ func New(dict *rdf.Dict, placement *partition.Placement) *Engine {
 // rebuilt-triple count (the transient build cost the caller charged
 // its memory gauge for).
 func (e *Engine) ApplyMigration(m *partition.Migration, align *partition.Alignment) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	old := e.snap.Load()
 	overlays := make([]*store, len(old.stores))
 	if old.overlays != nil {
 		copy(overlays, old.overlays)
+	}
+	// Triples that arrived through ingest live in the broadcast delta,
+	// which aligned scans already read on every node; an overlay copy of
+	// one would make the aligned scan emit it twice. They are excluded
+	// from overlays on all nodes.
+	var inDelta map[rdf.Triple]struct{}
+	if len(old.delta) > 0 {
+		inDelta = make(map[rdf.Triple]struct{}, old.DeltaLen())
+		for _, st := range old.delta {
+			for _, t := range st.triples {
+				inDelta[t] = struct{}{}
+			}
+		}
 	}
 	rebuilt := 0
 	for node, adds := range m.Adds {
@@ -271,13 +379,18 @@ func (e *Engine) ApplyMigration(m *partition.Migration, align *partition.Alignme
 			if _, dup := seen[t]; dup {
 				continue
 			}
+			if inDelta != nil {
+				if _, dup := inDelta[t]; dup {
+					continue
+				}
+			}
 			seen[t] = struct{}{}
 			merged = append(merged, t)
 		}
 		overlays[node] = newStore(merged)
 		rebuilt += len(merged)
 	}
-	e.snap.Store(&storeSnap{stores: old.stores, overlays: overlays, align: align})
+	e.snap.Store(&Snap{stores: old.stores, overlays: overlays, align: align, delta: old.delta, data: old.data})
 	return rebuilt
 }
 
@@ -321,10 +434,11 @@ func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*R
 // typed *resilience.PanicError failing this query only.
 func (e *Engine) ExecuteEnv(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv) (res *Result, err error) {
 	defer resilience.CatchPanic(&err, e.inst.panicRecovered)
-	if env.snap == nil {
+	if env.Snap == nil {
 		// Capture the store view once: every operator of this run reads
-		// the same snapshot even if a migration swaps e.snap mid-query.
-		env.snap = e.snap.Load()
+		// the same snapshot even if a migration or ingest commit swaps
+		// e.snap mid-query.
+		env.Snap = e.snap.Load()
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
@@ -543,14 +657,23 @@ func (e *Engine) perNodeErr(n int, f func(node int) error) error {
 
 func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode) ([]*Relation, error) {
 	bp := bindPattern(e.dict, q.Patterns[tp])
-	stores := env.snap.stores
+	stores := env.Snap.stores
 	out := make([]*Relation, len(stores))
-	var scanned int64
-	err := e.perNodeErr(len(stores), func(node int) error {
+	// Match the broadcast-ingest delta once — its rows are logically
+	// present on every node — and share the matched rows across all
+	// node relations (set semantics collapse the copies downstream).
+	deltaRows, scanned, err := e.matchDelta(env, bp)
+	if err != nil {
+		return nil, err
+	}
+	err = e.perNodeErr(len(stores), func(node int) error {
 		local := bp
 		var count int64
 		local.scanned = &count
 		out[node] = stores[node].match(local)
+		if len(deltaRows) > 0 {
+			out[node].Rows = append(out[node].Rows, deltaRows...)
+		}
 		atomic.AddInt64(&scanned, count)
 		return out[node].chargeTo(env.Gauge, "scan")
 	})
@@ -559,6 +682,31 @@ func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *Trac
 	}
 	m.ScannedTriples += scanned
 	return out, nil
+}
+
+// matchDelta matches bp against the snapshot's ingest delta chunks,
+// returning the combined rows (shared by every node's scan output)
+// and the postings touched. Charged to the gauge once — the rows are
+// one materialization no matter how many nodes surface them.
+func (e *Engine) matchDelta(env ExecEnv, bp boundPattern) ([][]rdf.TermID, int64, error) {
+	chunks := env.Snap.delta
+	if len(chunks) == 0 {
+		return nil, 0, nil
+	}
+	var rows [][]rdf.TermID
+	var scanned int64
+	for _, st := range chunks {
+		local := bp
+		var count int64
+		local.scanned = &count
+		rel := st.match(local)
+		scanned += count
+		if err := rel.chargeTo(env.Gauge, "scan"); err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, rel.Rows...)
+	}
+	return rows, scanned, nil
 }
 
 // alignHints returns, per child of a repartition join, the join
@@ -572,7 +720,7 @@ func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *Trac
 // can emit each matching triple only there and skip the shuffle
 // entirely without changing the joined row set.
 func (e *Engine) alignHints(p *plan.Node, q *sparql.Query, env ExecEnv) []string {
-	a := env.snap.align
+	a := env.Snap.align
 	if a.Len() == 0 {
 		return nil
 	}
@@ -623,11 +771,14 @@ func (e *Engine) alignedScan(ctx context.Context, p *plan.Node, q *sparql.Query,
 	tr.Aligned = true
 	start := time.Now()
 	bp := bindPattern(e.dict, q.Patterns[p.TP])
-	stores := env.snap.stores
+	stores := env.Snap.stores
 	n := len(stores)
 	out := make([]*Relation, n)
-	var scanned int64
-	err := e.perNodeErr(n, func(node int) error {
+	deltaRows, scanned, err := e.matchDelta(env, bp)
+	if err != nil {
+		return nil, nil, err
+	}
+	err = e.perNodeErr(n, func(node int) error {
 		local := bp
 		var count int64
 		local.scanned = &count
@@ -636,7 +787,7 @@ func (e *Engine) alignedScan(ctx context.Context, p *plan.Node, q *sparql.Query,
 		if col < 0 {
 			return fmt.Errorf("engine: aligned-scan variable ?%s missing from tp%d", joinVar, p.TP+1)
 		}
-		if ov := env.snap.overlay(node); ov != nil {
+		if ov := env.Snap.overlay(node); ov != nil {
 			// Migrated copies live only in the overlay, invisible to
 			// normal scans; an aligned scan must see them — they are
 			// exactly the copies the migration placed on this node so
@@ -647,12 +798,21 @@ func (e *Engine) alignedScan(ctx context.Context, p *plan.Node, q *sparql.Query,
 			}
 			rel.Rows = append(rel.Rows, ovRel.Rows...)
 		}
+		if len(deltaRows) > 0 {
+			// Ingested triples are replicated to every node via the
+			// delta, so the align filter below keeps each of them exactly
+			// on its scatter destination — the alignment guarantee holds
+			// for them without any overlay copy (ApplyMigration excludes
+			// delta triples from overlays for the same reason).
+			rel.Rows = append(rel.Rows, deltaRows...)
+		}
 		// No dedup needed, unlike the scatter path: every copy of a
 		// triple shares one align node, only that node passes the
 		// filter, and there each row appears once — the base fragment
-		// and the overlay are each deduplicated and the overlay is
-		// built net of the base — so each matching row already appears
-		// exactly once globally.
+		// and the overlay are each deduplicated, the overlay is built
+		// net of the base and the delta, and the delta is net of the
+		// whole dataset — so each matching row already appears exactly
+		// once globally.
 		kept := rel.Rows[:0]
 		for _, row := range rel.Rows {
 			if int(uint64(row[col])%uint64(n)) == node {
@@ -729,7 +889,7 @@ func (e *Engine) joinInputs(ctx context.Context, p *plan.Node, q *sparql.Query, 
 	if err != nil {
 		return nil, err
 	}
-	n := len(env.snap.stores)
+	n := len(env.Snap.stores)
 	inputs := make([][]*Relation, n)
 	switch p.Alg {
 	case plan.LocalJoin:
@@ -862,7 +1022,7 @@ func (e *Engine) joinOp(ctx context.Context, p *plan.Node, q *sparql.Query, env 
 		return nil, err
 	}
 	site := opName(p.Alg)
-	out := make([]*Relation, len(env.snap.stores))
+	out := make([]*Relation, len(env.Snap.stores))
 	var joined int64
 	err = e.perNodeErr(len(out), func(node int) error {
 		env.Faults.PanicIf(faultinject.EnginePanic)
@@ -899,7 +1059,7 @@ func (e *Engine) evalFactorizedRoot(ctx context.Context, p *plan.Node, q *sparql
 		return nil, nil, err
 	}
 	site := opName(p.Alg)
-	out := make([]*FactorizedRelation, len(env.snap.stores))
+	out := make([]*FactorizedRelation, len(env.Snap.stores))
 	counts := make([]int64, len(out))
 	err = e.perNodeErr(len(out), func(node int) error {
 		env.Faults.PanicIf(faultinject.EnginePanic)
@@ -975,7 +1135,7 @@ func (e *Engine) projectFactorized(ctx context.Context, parts []*FactorizedRelat
 // are charged to the query's gauge before the copy, so a shuffle that
 // would blow the budget fails before materializing.
 func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int, env ExecEnv) ([]*Relation, int64, error) {
-	n := len(env.snap.stores)
+	n := len(env.Snap.stores)
 	counts := make([]int, n)
 	for _, f := range frags {
 		for _, row := range f.Rows {
@@ -1019,10 +1179,11 @@ func Reference(ds *rdf.Dataset, q *sparql.Query) (*Result, error) {
 		return nil, fmt.Errorf("engine: empty query")
 	}
 	ctx := context.Background()
-	st := newStore(ds.Triples)
+	snap := ds.Snapshot()
+	st := newStore(snap.Triples())
 	var cur *Relation
 	for _, tp := range q.Patterns {
-		rel := st.match(bindPattern(ds.Dict, tp))
+		rel := st.match(bindPattern(snap.Dict(), tp))
 		if cur == nil {
 			cur = rel
 		} else {

@@ -157,7 +157,7 @@ func TestScatterCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := e.scatter(ctx, []*Relation{frag, frag}, 0, ExecEnv{snap: e.snap.Load()}); err == nil {
+	if _, _, err := e.scatter(ctx, []*Relation{frag, frag}, 0, ExecEnv{Snap: e.snap.Load()}); err == nil {
 		t.Fatal("cancelled scatter ran to completion")
 	}
 }

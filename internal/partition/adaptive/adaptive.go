@@ -21,6 +21,7 @@
 package adaptive
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -60,6 +61,14 @@ type Config struct {
 	// leave any node's fragment larger than BalanceFactor times the
 	// mean fragment size. Default 2.
 	BalanceFactor float64
+	// DecayHalfLife ages the shuffle accumulators: a group's
+	// accumulated rows/bytes/query count halve every DecayHalfLife
+	// observed queries, so last week's hot pattern stops qualifying
+	// (and stops holding replication budget hostage) once the workload
+	// moves on. Groups whose decayed weight drops below one query's
+	// worth are expired from the tracker. 0 (the default) disables
+	// decay — accumulators only grow, the pre-decay behavior.
+	DecayHalfLife int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,8 +92,9 @@ type Stats struct {
 	// ObservedQueries counts queries that reported at least one
 	// alignable shuffle.
 	ObservedQueries int64
-	// TrackedGroups counts distinct (predicate, position) groups ever
-	// observed shuffling.
+	// TrackedGroups counts the distinct (predicate, position) groups
+	// currently tracked. Without decay this only grows; with decay,
+	// groups that cool below one query's worth are expired.
 	TrackedGroups int
 	// AlignedGroups counts groups migrated so far.
 	AlignedGroups int
@@ -101,6 +111,12 @@ type Stats struct {
 	// FailedMigrations counts migration rounds that planned but failed
 	// to apply (memory budget, placement mismatch, recovered panic).
 	FailedMigrations int64
+	// ExpiredGroups counts groups dropped by accumulator decay after
+	// cooling below the tracking floor.
+	ExpiredGroups int64
+	// DecayHalfLife echoes the effective decay configuration, in
+	// observed queries (0 = decay disabled).
+	DecayHalfLife int
 }
 
 // Proposal is one planned migration round, to be applied by the caller
@@ -114,10 +130,16 @@ type Proposal struct {
 	AddCount int64
 }
 
+// groupAcc accumulates one group's observed shuffle volume. The
+// fields are floats because decay scales them continuously; without
+// decay they hold exact integer sums.
 type groupAcc struct {
-	rows    int64
-	bytes   int64
-	queries int
+	rows    float64
+	bytes   float64
+	queries float64
+	// seen is the advisor's observed-query clock value at the last
+	// fold or decay, so aging is applied lazily.
+	seen int64
 }
 
 // Advisor accumulates shuffle observations and plans bounded
@@ -128,6 +150,7 @@ type Advisor struct {
 	acc     map[partition.GroupKey]*groupAcc
 	aligned *partition.Alignment
 	added   int64 // copies committed so far, against the replication budget
+	clock   int64 // observed-query count, the decay time base
 	stats   Stats
 }
 
@@ -152,7 +175,10 @@ func (a *Advisor) Alignment() *partition.Alignment {
 func (a *Advisor) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.stats
+	st := a.stats
+	st.TrackedGroups = len(a.acc)
+	st.DecayHalfLife = a.cfg.DecayHalfLife
+	return st
 }
 
 // Observe folds one completed query's alignable shuffles into the
@@ -165,6 +191,7 @@ func (a *Advisor) Observe(obs []Observation) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.stats.ObservedQueries++
+	a.clock++
 	hot := false
 	for _, o := range obs {
 		if o.Aligned {
@@ -173,22 +200,57 @@ func (a *Advisor) Observe(obs []Observation) bool {
 		}
 		g := a.acc[o.Key]
 		if g == nil {
-			g = &groupAcc{}
+			g = &groupAcc{seen: a.clock}
 			a.acc[o.Key] = g
-			a.stats.TrackedGroups++
 		}
-		g.rows += o.Rows
-		g.bytes += o.Bytes
+		a.decayLocked(g)
+		g.rows += float64(o.Rows)
+		g.bytes += float64(o.Bytes)
 		g.queries++
 		if !a.aligned.Aligned(o.Key.Pred, o.Key.Pos) && a.qualifies(g) {
 			hot = true
 		}
 	}
+	a.expireLocked()
 	return hot
 }
 
+// decayLocked lazily ages one accumulator to the current clock:
+// everything halves every DecayHalfLife observed queries. Caller holds
+// a.mu.
+func (a *Advisor) decayLocked(g *groupAcc) {
+	if a.cfg.DecayHalfLife <= 0 {
+		g.seen = a.clock
+		return
+	}
+	if age := a.clock - g.seen; age > 0 {
+		f := math.Exp2(-float64(age) / float64(a.cfg.DecayHalfLife))
+		g.rows *= f
+		g.bytes *= f
+		g.queries *= f
+	}
+	g.seen = a.clock
+}
+
+// expireLocked drops groups whose decayed weight fell below one
+// query's worth — they no longer contribute to any trigger and would
+// otherwise leak tracker memory under a drifting workload. Caller
+// holds a.mu; a no-op without decay.
+func (a *Advisor) expireLocked() {
+	if a.cfg.DecayHalfLife <= 0 {
+		return
+	}
+	for k, g := range a.acc {
+		a.decayLocked(g)
+		if g.queries < 0.5 && g.bytes < 1 {
+			delete(a.acc, k)
+			a.stats.ExpiredGroups++
+		}
+	}
+}
+
 func (a *Advisor) qualifies(g *groupAcc) bool {
-	return g.bytes >= a.cfg.MinBytes && g.queries >= a.cfg.MinQueries
+	return g.bytes >= float64(a.cfg.MinBytes) && g.queries >= float64(a.cfg.MinQueries)
 }
 
 // PlanMigration computes the next migration round: the hottest
@@ -212,10 +274,11 @@ func (a *Advisor) PlanMigration(ds *rdf.Dataset, p *partition.Placement) *Propos
 	}
 	var cands []cand
 	for k, g := range a.acc {
+		a.decayLocked(g)
 		if a.aligned.Aligned(k.Pred, k.Pos) || !a.qualifies(g) {
 			continue
 		}
-		cands = append(cands, cand{k, g.bytes})
+		cands = append(cands, cand{k, int64(g.bytes)})
 	}
 	if len(cands) == 0 {
 		return nil
@@ -251,14 +314,18 @@ func (a *Advisor) PlanMigration(ds *rdf.Dataset, p *partition.Placement) *Propos
 			}
 		}
 	}
-	budget := int64(a.cfg.ReplicationBudget*float64(ds.Len())) - a.added
+	// Plan against a pinned snapshot: concurrent ingest must not change
+	// the triple set mid-plan (triples committed after the pin are
+	// covered by the engine's broadcast delta, not by placements).
+	snap := ds.Snapshot()
+	budget := int64(a.cfg.ReplicationBudget*float64(snap.Len())) - a.added
 	adds := make([][]rdf.Triple, n)
 	var accepted []partition.GroupKey
 	var addCount int64
 	for _, c := range cands {
 		group := make([][]rdf.Triple, n)
 		var count int64
-		for _, t := range ds.Triples {
+		for _, t := range snap.Triples() {
 			if t.P != c.key.Pred {
 				continue
 			}

@@ -260,3 +260,50 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("explicit config rewritten: %+v", got)
 	}
 }
+
+// TestAccumulatorDecay: with DecayHalfLife set, stale accumulation
+// stops counting toward the trigger — a group hot last epoch expires
+// once the workload moves on, and only sustained re-observation
+// re-qualifies it. Without decay the same history would fire on the
+// third observation.
+func TestAccumulatorDecay(t *testing.T) {
+	ds := hotDataset()
+	key := hotKey(t, ds)
+	cold := partition.GroupKey{Pred: key.Pred, Pos: partition.PosS}
+	a := New(Config{MinBytes: 3 << 20, MinQueries: 3, DecayHalfLife: 4})
+	if got := a.Stats().DecayHalfLife; got != 4 {
+		t.Fatalf("Stats echoes DecayHalfLife %d, want 4", got)
+	}
+
+	// Two hot observations, then the workload moves on: 100 queries
+	// that never touch the group. 25 half-lives erase its weight.
+	observeHot(a, key, 2)
+	for i := 0; i < 100; i++ {
+		a.Observe([]Observation{{Key: cold, Rows: 1, Bytes: 1}})
+	}
+	st := a.Stats()
+	if st.ExpiredGroups == 0 {
+		t.Fatal("decayed-out group was never expired")
+	}
+	if st.TrackedGroups != 1 {
+		t.Fatalf("%d tracked groups, want 1 (only the cold key)", st.TrackedGroups)
+	}
+
+	// One more hot observation must NOT fire: without decay this would
+	// be the third query over 3 MiB of accumulated shuffle.
+	if observeHot(a, key, 1) {
+		t.Fatal("trigger fired on stale, decayed accumulation")
+	}
+	// Sustained heat still qualifies — but needs more than the
+	// no-decay three observations, because each one ages the rest.
+	obs := 1 // observations since the expiry, counting the one above
+	for fired := false; !fired; {
+		if obs++; obs > 10 {
+			t.Fatal("sustained hot workload never re-qualified")
+		}
+		fired = observeHot(a, key, 1)
+	}
+	if obs <= 3 {
+		t.Fatalf("re-qualified after %d observations; decay should slow the trigger past the no-decay 3", obs)
+	}
+}

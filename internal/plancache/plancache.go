@@ -43,6 +43,7 @@ import (
 	"sparqlopt/internal/opt"
 	"sparqlopt/internal/plan"
 	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/rdf"
 	"sparqlopt/internal/sparql"
 	"sparqlopt/internal/stats"
 )
@@ -78,8 +79,14 @@ type Counters struct {
 	// instead of duplicating it.
 	SingleflightWaits int64
 	// Invalidations counts entries reset because the dataset epoch
-	// moved past the one they were derived under.
+	// moved past the one they were derived under (and, with scoped
+	// invalidation, the change actually touched the entry's
+	// predicates).
 	Invalidations int64
+	// Retained counts entries that survived an epoch move because the
+	// change set was disjoint from the entry's predicates — the writes
+	// that scoped invalidation made free.
+	Retained int64
 	// StatsHits / StatsMisses count statistics-snapshot reuse vs.
 	// fresh stats.Collect scans.
 	StatsHits   int64
@@ -116,8 +123,15 @@ type Cache struct {
 	capPerShard int
 	shards      [numShards]shard
 
+	// lookup and changed enable predicate-scoped invalidation (see
+	// SetInvalidation); both nil means every epoch move drops every
+	// touched entry, the pre-scoping behavior.
+	lookup  func(string) (rdf.TermID, bool)
+	changed func(from, to uint64) rdf.ChangeSet
+
 	hits, misses, evictions atomic.Int64
 	waits, invalidations    atomic.Int64
+	retained                atomic.Int64
 	statsHits, statsMisses  atomic.Int64
 }
 
@@ -136,6 +150,14 @@ type entry struct {
 	mu    sync.Mutex
 	valid bool   // epoch has been set at least once
 	epoch uint64 // dataset epoch the contents were derived under
+	// preds is the predicate set the fingerprint's template touches
+	// (predicates are part of the canonical shape, so it is shared by
+	// every query of the fingerprint). predWild marks a template whose
+	// predicate set is unknowable — a variable predicate, or a
+	// constant that was not interned when first seen — which must be
+	// invalidated by every change. Both are set on first sync.
+	preds    map[rdf.TermID]struct{}
+	predWild bool
 	// cstats is the statistics snapshot in canonical space (nil until
 	// the first collection at this epoch).
 	cstats *stats.Stats
@@ -196,9 +218,21 @@ func (c *Cache) Counters() Counters {
 		Evictions:         c.evictions.Load(),
 		SingleflightWaits: c.waits.Load(),
 		Invalidations:     c.invalidations.Load(),
+		Retained:          c.retained.Load(),
 		StatsHits:         c.statsHits.Load(),
 		StatsMisses:       c.statsMisses.Load(),
 	}
+}
+
+// SetInvalidation switches the cache to predicate-scoped invalidation:
+// on an epoch move, an entry is dropped only when changed(entryEpoch,
+// newEpoch) touches the predicate set of the entry's template
+// (resolved to TermIDs via lookup); otherwise the entry — its plan
+// templates and statistics snapshot — is retained and retagged to the
+// new epoch. Must be called before the cache starts serving.
+func (c *Cache) SetInvalidation(lookup func(string) (rdf.TermID, bool), changed func(from, to uint64) rdf.ChangeSet) {
+	c.lookup = lookup
+	c.changed = changed
 }
 
 // RegisterMetrics exposes the cache's counters and occupancy as live
@@ -217,6 +251,7 @@ func (c *Cache) RegisterMetrics(r *obs.Registry) {
 		{"plancache_evictions", "Entries dropped by the LRU bound.", func() float64 { return float64(c.evictions.Load()) }},
 		{"plancache_singleflight_waits", "Calls that joined an in-flight optimization.", func() float64 { return float64(c.waits.Load()) }},
 		{"plancache_invalidations", "Entries reset by dataset epoch moves.", func() float64 { return float64(c.invalidations.Load()) }},
+		{"plancache_retained", "Entries kept across epoch moves whose change sets missed them.", func() float64 { return float64(c.retained.Load()) }},
 		{"plancache_stats_hits", "Statistics snapshots served from the cache.", func() float64 { return float64(c.statsHits.Load()) }},
 		{"plancache_stats_misses", "Fresh statistics collections.", func() float64 { return float64(c.statsMisses.Load()) }},
 		{"plancache_entries", "Resident fingerprints.", func() float64 { return float64(c.Len()) }},
@@ -254,21 +289,68 @@ func (c *Cache) entryFor(canon *querygraph.Canon) *entry {
 	return e
 }
 
-// syncEpoch drops stale contents when the dataset epoch moved.
-// Callers must hold e.mu. In-flight owners of dropped slots still
-// resolve their own slot objects (waiters holding them are woken
-// normally); the slots are simply no longer reachable for new calls.
-func (e *entry) syncEpoch(epoch uint64, c *Cache) {
-	if e.valid && e.epoch == epoch {
+// syncEpoch reconciles the entry with the caller's (pinned) dataset
+// epoch. Callers must hold e.mu. A caller at or behind the entry's
+// epoch is served as-is: plans are valid at every epoch (execution is
+// exact) and its rows come from its own pinned snapshot. When the
+// caller's epoch is ahead, the entry is retained (and retagged) if
+// scoped invalidation is on and the change set missed the template's
+// predicates, and dropped otherwise. In-flight owners of dropped
+// slots still resolve their own slot objects (waiters holding them
+// are woken normally); the slots are simply no longer reachable for
+// new calls.
+func (e *entry) syncEpoch(epoch uint64, c *Cache, q *sparql.Query) {
+	if e.valid && e.epoch >= epoch {
 		return
 	}
-	if e.valid && (e.cstats != nil || len(e.plans) > 0) {
+	if !e.valid {
+		e.valid = true
+		e.epoch = epoch
+		e.resolvePreds(q, c)
+		return
+	}
+	if c.changed != nil && !e.predWild {
+		cs := c.changed(e.epoch, epoch)
+		if !cs.Touches(e.preds, false) {
+			if e.cstats != nil || len(e.plans) > 0 {
+				c.retained.Add(1)
+			}
+			e.epoch = epoch
+			if e.cstats != nil {
+				e.cstats.Epoch = epoch
+			}
+			return
+		}
+	}
+	if e.cstats != nil || len(e.plans) > 0 {
 		c.invalidations.Add(1)
 	}
-	e.valid = true
 	e.epoch = epoch
 	e.cstats = nil
 	e.plans = make(map[opt.Algorithm]*slot)
+}
+
+// resolvePreds records the template's predicate set on first sync.
+// Caller holds e.mu. Without scoped invalidation there is nothing to
+// resolve; with it, any unresolvable predicate makes the entry
+// wildcard (always invalidated), never wrongly retained.
+func (e *entry) resolvePreds(q *sparql.Query, c *Cache) {
+	if c.lookup == nil {
+		return
+	}
+	e.preds = make(map[rdf.TermID]struct{}, len(q.Patterns))
+	for _, tp := range q.Patterns {
+		if tp.P.IsVar() {
+			e.predWild = true
+			return
+		}
+		id, ok := c.lookup(tp.P.Value)
+		if !ok {
+			e.predWild = true
+			return
+		}
+		e.preds[id] = struct{}{}
+	}
 }
 
 // Optimize returns an optimization result for q under algo and the
@@ -313,7 +395,7 @@ func (c *Cache) Optimize(ctx context.Context, q *sparql.Query, algo opt.Algorith
 	)
 	for attempt := 0; ; attempt++ {
 		e.mu.Lock()
-		e.syncEpoch(epoch, c)
+		e.syncEpoch(epoch, c, q)
 		cur, ok := e.plans[algo]
 		if !ok {
 			// This goroutine owns the optimization for (fingerprint, algo).
@@ -445,7 +527,7 @@ func (c *Cache) StatsFor(q *sparql.Query, epoch uint64, collect CollectFunc) (*s
 		return st, false, err
 	}
 	e.mu.Lock()
-	e.syncEpoch(epoch, c)
+	e.syncEpoch(epoch, c, q)
 	if e.cstats != nil {
 		st := e.cstats.Remap(canon.CanonOf, canon.VarOf)
 		e.mu.Unlock()

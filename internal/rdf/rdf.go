@@ -5,11 +5,17 @@
 // Terms (IRIs and literals) are interned into a Dict, so a triple is
 // three integer IDs. Subjects and objects become graph vertices;
 // predicates become edge labels.
+//
+// A Dataset is multi-version: every committed write publishes a new
+// immutable Snapshot (an append-side delta over a shared backing
+// array), and readers pin one Snapshot for the life of a query, so
+// ingest never blocks or perturbs the serving path.
 package rdf
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -32,9 +38,11 @@ func (t Triple) Less(u Triple) bool {
 	return t.O < u.O
 }
 
-// Dict interns term strings and assigns dense TermIDs.
-// The zero value is ready to use.
+// Dict interns term strings and assigns dense TermIDs. The zero value
+// is ready to use. Interning serializes against lookups, so terms can
+// be added while the serving path resolves query constants.
 type Dict struct {
+	mu    sync.RWMutex
 	ids   map[string]TermID
 	terms []string
 }
@@ -44,6 +52,8 @@ func NewDict() *Dict { return &Dict{ids: make(map[string]TermID)} }
 
 // Intern returns the ID for term, assigning a fresh one if needed.
 func (d *Dict) Intern(term string) TermID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.ids == nil {
 		d.ids = make(map[string]TermID)
 	}
@@ -58,78 +68,339 @@ func (d *Dict) Intern(term string) TermID {
 
 // Lookup returns the ID for term, if it has been interned.
 func (d *Dict) Lookup(term string) (TermID, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[term]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // Term returns the string for id. It panics if id was never assigned.
-func (d *Dict) Term(id TermID) string { return d.terms[id] }
+func (d *Dict) Term(id TermID) string {
+	d.mu.RLock()
+	s := d.terms[id]
+	d.mu.RUnlock()
+	return s
+}
 
 // Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.terms) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.terms)
+	d.mu.RUnlock()
+	return n
+}
+
+// Snapshot is an immutable view of a dataset at one epoch. The triple
+// slice is capped at both length and capacity, so writer appends past
+// it never become visible; a pinned Snapshot therefore yields
+// bit-identical scans regardless of concurrent ingest.
+type Snapshot struct {
+	dict    *Dict
+	triples []Triple
+	epoch   uint64
+}
+
+// Dict returns the dictionary shared with the dataset. The dictionary
+// is append-only and internally synchronized, so resolving terms
+// through an old snapshot is always safe.
+func (s *Snapshot) Dict() *Dict { return s.dict }
+
+// Triples returns the immutable triple slice. Callers must not mutate
+// it.
+func (s *Snapshot) Triples() []Triple { return s.triples }
+
+// Epoch returns the epoch at which this snapshot was published.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of triples in the snapshot.
+func (s *Snapshot) Len() int { return len(s.triples) }
+
+// WriteDelta describes one committed write: the triples that were
+// actually inserted (duplicates are filtered out before commit), the
+// epoch the commit published, and the snapshot that includes it.
+type WriteDelta struct {
+	Triples []Triple
+	Epoch   uint64
+	Snap    *Snapshot
+}
+
+// ChangeSet summarizes which predicates changed across a span of
+// epochs. All reports a structural change that cannot be attributed to
+// specific predicates (a placement migration, a Dedup reorder);
+// consumers must treat it as touching everything.
+type ChangeSet struct {
+	All   bool
+	Preds map[TermID]struct{}
+}
+
+// Empty reports whether the span contained no changes at all.
+func (c ChangeSet) Empty() bool { return !c.All && len(c.Preds) == 0 }
+
+// Touches reports whether the change set may affect artifacts derived
+// from the given predicates. wildcard marks an artifact whose
+// predicate set is unknown (e.g. a query with a variable predicate).
+func (c ChangeSet) Touches(preds map[TermID]struct{}, wildcard bool) bool {
+	if c.Empty() {
+		return false
+	}
+	if c.All || wildcard {
+		return true
+	}
+	for p := range c.Preds {
+		if _, ok := preds[p]; ok {
+			return true
+		}
+	}
+	return false
+}
 
 // Dataset is a set of triples together with the dictionary that
 // encodes them.
 //
 // A Dataset carries a monotonically increasing epoch, bumped by every
-// mutation through its methods (Add, AddTriple, Dedup) and by
-// BumpEpoch. Consumers that cache anything derived from the triples —
-// collected statistics, optimized plans — record the epoch they
-// observed and treat a moved epoch as an invalidation signal. Code
-// that appends to Triples directly bypasses the epoch; all in-tree
-// mutators go through the methods. The epoch is atomic so background
-// invalidators (the adaptive-repartitioning advisor) can flip it while
-// the serving path reads it.
+// committed mutation. Consumers that cache anything derived from the
+// triples — collected statistics, optimized plans — record the epoch
+// they observed and use ChangedBetween to decide whether (and how
+// much of) their artifact is stale.
+//
+// Writes go through Add/AddTriple/AddBatch, which deduplicate at
+// insert (re-adding a present triple is a no-op: no epoch bump, no
+// invalidation), publish a fresh immutable Snapshot, and fire OnCommit
+// hooks. Readers call Snapshot() once and use it for the whole query.
+// Code that appends to Triples directly bypasses all of this; it is
+// only legal before the dataset starts serving.
 type Dataset struct {
 	Dict    *Dict
 	Triples []Triple
 
 	epoch atomic.Uint64
+	snap  atomic.Pointer[Snapshot]
+
+	mu    sync.Mutex          // serializes writers
+	index map[Triple]struct{} // lazy membership set, built on first write
+
+	modMu       sync.RWMutex      // guards predLastMod and wildcard
+	predLastMod map[TermID]uint64 // predicate → epoch of its last change
+	wildcard    uint64            // epoch of the last unattributable change
+
+	hooks  map[int]func(WriteDelta)
+	hookID int
 }
 
 // NewDataset returns an empty dataset with a fresh dictionary.
 func NewDataset() *Dataset { return &Dataset{Dict: NewDict()} }
 
-// Add interns the three terms and appends the triple.
+// Add interns the three terms and inserts the triple. Inserting a
+// triple that is already present is a no-op: the epoch does not move
+// and no snapshot is published.
 func (ds *Dataset) Add(s, p, o string) Triple {
 	t := Triple{ds.Dict.Intern(s), ds.Dict.Intern(p), ds.Dict.Intern(o)}
-	ds.Triples = append(ds.Triples, t)
-	ds.epoch.Add(1)
+	ds.AddTriple(t)
 	return t
 }
 
-// AddTriple appends an already-encoded triple.
+// AddTriple inserts an already-encoded triple. Duplicates are no-ops.
 func (ds *Dataset) AddTriple(t Triple) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if !ds.insertLocked(t) {
+		return
+	}
+	ds.publishLocked([]Triple{t})
+}
+
+// AddBatch inserts a batch of triples under one commit: one epoch
+// bump, one snapshot, one OnCommit delta carrying exactly the triples
+// that were new. Returns the number inserted.
+func (ds *Dataset) AddBatch(ts []Triple) int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	var delta []Triple
+	for _, t := range ts {
+		if ds.insertLocked(t) {
+			delta = append(delta, t)
+		}
+	}
+	if len(delta) == 0 {
+		return 0
+	}
+	ds.publishLocked(delta)
+	return len(delta)
+}
+
+// insertLocked appends t unless already present. Caller holds ds.mu.
+func (ds *Dataset) insertLocked(t Triple) bool {
+	if ds.index == nil {
+		ds.index = make(map[Triple]struct{}, len(ds.Triples)*2)
+		for _, u := range ds.Triples {
+			ds.index[u] = struct{}{}
+		}
+	}
+	if _, dup := ds.index[t]; dup {
+		return false
+	}
+	ds.index[t] = struct{}{}
 	ds.Triples = append(ds.Triples, t)
-	ds.epoch.Add(1)
+	return true
+}
+
+// publishLocked commits a write: bumps the epoch, records the touched
+// predicates, publishes the new snapshot, and fires the commit hooks
+// (synchronously, still under ds.mu, so hooks observe commits in
+// order). Caller holds ds.mu.
+func (ds *Dataset) publishLocked(delta []Triple) {
+	epoch := ds.epoch.Add(1)
+	ds.modMu.Lock()
+	if ds.predLastMod == nil {
+		ds.predLastMod = make(map[TermID]uint64)
+	}
+	for _, t := range delta {
+		ds.predLastMod[t.P] = epoch
+	}
+	ds.modMu.Unlock()
+	snap := &Snapshot{dict: ds.Dict, triples: ds.Triples[:len(ds.Triples):len(ds.Triples)], epoch: epoch}
+	ds.snap.Store(snap)
+	if len(ds.hooks) > 0 {
+		wd := WriteDelta{Triples: delta, Epoch: epoch, Snap: snap}
+		for _, h := range ds.hooks {
+			h(wd)
+		}
+	}
+}
+
+// Snapshot returns the most recently published immutable snapshot. For
+// a dataset that has never committed a write through the mutation
+// methods (e.g. one assembled by hand before serving), it returns a
+// view of the current state.
+func (ds *Dataset) Snapshot() *Snapshot {
+	if s := ds.snap.Load(); s != nil {
+		return s
+	}
+	return &Snapshot{dict: ds.Dict, triples: ds.Triples[:len(ds.Triples):len(ds.Triples)], epoch: ds.epoch.Load()}
+}
+
+// OnCommit registers a hook fired after every committed write, in
+// commit order, with the dataset's writer lock held (hooks must not
+// call back into mutation methods). The returned function unregisters
+// the hook.
+func (ds *Dataset) OnCommit(h func(WriteDelta)) func() {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hooks == nil {
+		ds.hooks = make(map[int]func(WriteDelta))
+	}
+	id := ds.hookID
+	ds.hookID++
+	ds.hooks[id] = h
+	return func() {
+		ds.mu.Lock()
+		defer ds.mu.Unlock()
+		delete(ds.hooks, id)
+	}
 }
 
 // Epoch returns the dataset's mutation counter. Two calls returning
-// the same value bracket a span with no method-level mutations, so
+// the same value bracket a span with no committed mutations, so
 // statistics or plans derived in between are still valid.
 func (ds *Dataset) Epoch() uint64 { return ds.epoch.Load() }
 
 // BumpEpoch advances the epoch without changing the triples — the
 // invalidation hook for consumers whose cached artifacts depend on
 // more than the triple set (e.g. plans costed under a data placement
-// that a background migration just changed). Safe to call concurrently
-// with Epoch readers.
-func (ds *Dataset) BumpEpoch() uint64 { return ds.epoch.Add(1) }
+// that a background migration just changed). The change is recorded as
+// unattributable: every predicate-scoped artifact is considered
+// touched. Safe to call concurrently with readers.
+func (ds *Dataset) BumpEpoch() uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	epoch := ds.epoch.Add(1)
+	ds.modMu.Lock()
+	ds.wildcard = epoch
+	ds.modMu.Unlock()
+	ds.snap.Store(&Snapshot{dict: ds.Dict, triples: ds.Triples[:len(ds.Triples):len(ds.Triples)], epoch: epoch})
+	return epoch
+}
+
+// BumpEpochPreds advances the epoch like BumpEpoch but attributes the
+// change to the given predicates, so cached artifacts over disjoint
+// predicate sets survive. Used by placement migrations, which move
+// whole predicate groups.
+func (ds *Dataset) BumpEpochPreds(preds ...TermID) uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	epoch := ds.epoch.Add(1)
+	ds.modMu.Lock()
+	if ds.predLastMod == nil {
+		ds.predLastMod = make(map[TermID]uint64)
+	}
+	for _, p := range preds {
+		ds.predLastMod[p] = epoch
+	}
+	ds.modMu.Unlock()
+	ds.snap.Store(&Snapshot{dict: ds.Dict, triples: ds.Triples[:len(ds.Triples):len(ds.Triples)], epoch: epoch})
+	return epoch
+}
+
+// ChangedBetween summarizes what changed in the epoch span (from, to].
+// A consumer holding an artifact collected at epoch `from` calls this
+// when it observes the dataset at epoch `to`; an Empty result means
+// the artifact is still exactly valid.
+func (ds *Dataset) ChangedBetween(from, to uint64) ChangeSet {
+	if to <= from {
+		return ChangeSet{}
+	}
+	ds.modMu.RLock()
+	defer ds.modMu.RUnlock()
+	if ds.wildcard > from && ds.wildcard <= to {
+		return ChangeSet{All: true}
+	}
+	var preds map[TermID]struct{}
+	for p, e := range ds.predLastMod {
+		if e > from && e <= to {
+			if preds == nil {
+				preds = make(map[TermID]struct{})
+			}
+			preds[p] = struct{}{}
+		}
+	}
+	return ChangeSet{Preds: preds}
+}
 
 // Len returns the number of triples.
-func (ds *Dataset) Len() int { return len(ds.Triples) }
+func (ds *Dataset) Len() int {
+	if s := ds.snap.Load(); s != nil {
+		return len(s.triples)
+	}
+	return len(ds.Triples)
+}
 
-// Dedup sorts the triples and removes exact duplicates.
+// Dedup sorts the triples and removes exact duplicates. The sorted set
+// is built copy-on-write so previously published snapshots keep their
+// rows; the reorder is recorded as an unattributable change.
 func (ds *Dataset) Dedup() {
-	sort.Slice(ds.Triples, func(i, j int) bool { return ds.Triples[i].Less(ds.Triples[j]) })
-	out := ds.Triples[:0]
-	for i, t := range ds.Triples {
-		if i == 0 || t != ds.Triples[i-1] {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	sorted := make([]Triple, len(ds.Triples))
+	copy(sorted, ds.Triples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	out := sorted[:0]
+	for i, t := range sorted {
+		if i == 0 || t != sorted[i-1] {
 			out = append(out, t)
 		}
 	}
 	ds.Triples = out
-	ds.epoch.Add(1)
+	if ds.index != nil {
+		ds.index = make(map[Triple]struct{}, len(out)*2)
+		for _, t := range out {
+			ds.index[t] = struct{}{}
+		}
+	}
+	epoch := ds.epoch.Add(1)
+	ds.modMu.Lock()
+	ds.wildcard = epoch
+	ds.modMu.Unlock()
+	ds.snap.Store(&Snapshot{dict: ds.Dict, triples: ds.Triples[:len(ds.Triples):len(ds.Triples)], epoch: epoch})
 }
 
 // String renders a triple using the dataset's dictionary, for debugging.

@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -173,13 +174,121 @@ func TestDatasetEpoch(t *testing.T) {
 	if ds.Epoch() != 1 {
 		t.Errorf("epoch after Add = %d, want 1", ds.Epoch())
 	}
+	// Re-inserting a present triple is a full no-op: no epoch bump, so
+	// caches keyed on the epoch are not invalidated for nothing.
 	ds.AddTriple(tr)
-	if ds.Epoch() != 2 {
-		t.Errorf("epoch after AddTriple = %d, want 2", ds.Epoch())
+	if ds.Epoch() != 1 {
+		t.Errorf("epoch after duplicate AddTriple = %d, want 1 (no-op)", ds.Epoch())
+	}
+	if ds.Len() != 1 {
+		t.Errorf("Len after duplicate = %d, want 1", ds.Len())
+	}
+	ds.Add("a", "p", "b")
+	if ds.Epoch() != 1 {
+		t.Errorf("epoch after duplicate Add = %d, want 1 (no-op)", ds.Epoch())
 	}
 	before := ds.Epoch()
 	ds.Dedup()
 	if ds.Epoch() <= before {
 		t.Errorf("Dedup must bump the epoch: %d -> %d", before, ds.Epoch())
+	}
+}
+
+func TestAddBatchDelta(t *testing.T) {
+	ds := NewDataset()
+	a := ds.Add("a", "p", "b")
+	var got []WriteDelta
+	off := ds.OnCommit(func(wd WriteDelta) { got = append(got, wd) })
+	c := Triple{ds.Dict.Intern("c"), ds.Dict.Intern("q"), ds.Dict.Intern("d")}
+	e := Triple{ds.Dict.Intern("e"), ds.Dict.Intern("q"), ds.Dict.Intern("f")}
+	if n := ds.AddBatch([]Triple{a, c, e, c}); n != 2 {
+		t.Fatalf("AddBatch inserted %d, want 2 (duplicates filtered)", n)
+	}
+	if ds.Epoch() != 2 {
+		t.Fatalf("epoch %d, want 2 (one bump per batch)", ds.Epoch())
+	}
+	if len(got) != 1 || len(got[0].Triples) != 2 || got[0].Epoch != 2 {
+		t.Fatalf("delta %+v, want one commit with the 2 new triples at epoch 2", got)
+	}
+	if got[0].Snap.Len() != 3 {
+		t.Fatalf("delta snapshot Len %d, want 3", got[0].Snap.Len())
+	}
+	// An all-duplicate batch commits nothing.
+	if n := ds.AddBatch([]Triple{a, c}); n != 0 {
+		t.Fatalf("duplicate batch inserted %d, want 0", n)
+	}
+	if len(got) != 1 || ds.Epoch() != 2 {
+		t.Fatalf("duplicate batch committed: %d deltas, epoch %d", len(got), ds.Epoch())
+	}
+	off()
+	ds.Add("g", "q", "h")
+	if len(got) != 1 {
+		t.Fatal("hook fired after unregister")
+	}
+}
+
+func TestSnapshotImmutable(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("a", "p", "b")
+	snap := ds.Snapshot()
+	if snap.Len() != 1 || snap.Epoch() != 1 {
+		t.Fatalf("snapshot len=%d epoch=%d", snap.Len(), snap.Epoch())
+	}
+	// Later writes must not leak into the pinned snapshot, even though
+	// they append to the same backing dataset.
+	for i := 0; i < 100; i++ {
+		ds.Add("a", "p", fmt.Sprintf("o%d", i))
+	}
+	if snap.Len() != 1 {
+		t.Fatalf("pinned snapshot grew to %d", snap.Len())
+	}
+	if got := ds.Snapshot().Len(); got != 101 {
+		t.Fatalf("fresh snapshot Len %d, want 101", got)
+	}
+	// The slice is capacity-capped: appending to it cannot scribble on
+	// the dataset's tail.
+	if c := cap(snap.Triples()); c != 1 {
+		t.Fatalf("snapshot cap %d, want 1", c)
+	}
+}
+
+func TestChangedBetween(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("a", "p", "b") // epoch 1
+	ds.Add("c", "q", "d") // epoch 2
+	p, _ := ds.Dict.Lookup("p")
+	q, _ := ds.Dict.Lookup("q")
+	if cs := ds.ChangedBetween(2, 2); !cs.Empty() {
+		t.Fatalf("empty span reported changes: %+v", cs)
+	}
+	cs := ds.ChangedBetween(1, 2)
+	if cs.All || len(cs.Preds) != 1 {
+		t.Fatalf("span (1,2] = %+v, want exactly predicate q", cs)
+	}
+	if _, ok := cs.Preds[q]; !ok {
+		t.Fatalf("span (1,2] missed predicate q: %+v", cs)
+	}
+	if !cs.Touches(map[TermID]struct{}{q: {}}, false) {
+		t.Error("change set must touch artifacts over q")
+	}
+	if cs.Touches(map[TermID]struct{}{p: {}}, false) {
+		t.Error("change set must not touch artifacts over p only")
+	}
+	if !cs.Touches(map[TermID]struct{}{p: {}}, true) {
+		t.Error("wildcard artifacts are always touched")
+	}
+	// An unattributable bump poisons the whole span.
+	ds.BumpEpoch() // epoch 3
+	if cs := ds.ChangedBetween(1, 3); !cs.All {
+		t.Fatalf("span across BumpEpoch = %+v, want All", cs)
+	}
+	// A predicate-attributed bump does not.
+	ds.BumpEpochPreds(p) // epoch 4
+	cs = ds.ChangedBetween(3, 4)
+	if cs.All {
+		t.Fatalf("span across BumpEpochPreds = %+v, want attributed", cs)
+	}
+	if _, ok := cs.Preds[p]; !ok {
+		t.Fatalf("span (3,4] missed predicate p: %+v", cs)
 	}
 }

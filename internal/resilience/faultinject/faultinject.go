@@ -40,6 +40,12 @@ const (
 	// CacheLookup fails the serving path's plan-cache lookup, which
 	// must degrade to a cache bypass, not a query failure.
 	CacheLookup Site = "plancache/lookup"
+	// RdfSnapshot panics while a committed write delta is applied to
+	// the serving snapshot (stats tracker + engine ingest delta). The
+	// commit itself is durable; the apply must be deferred and
+	// re-driven, never lost, and serving must continue on the previous
+	// snapshot meanwhile.
+	RdfSnapshot Site = "rdf/snapshot"
 )
 
 // Injected is the value carried by injected panics, so tests can tell

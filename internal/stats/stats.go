@@ -37,11 +37,20 @@ type Stats struct {
 }
 
 // Collect scans the dataset once per pattern and computes exact
-// statistics: match counts and distinct bindings per variable.
+// statistics: match counts and distinct bindings per variable. It
+// pins the dataset's current snapshot; use CollectSnapshot directly
+// when the caller already holds one.
 func Collect(ds *rdf.Dataset, q *sparql.Query) (*Stats, error) {
-	s := &Stats{Patterns: make([]PatternStats, len(q.Patterns)), Epoch: ds.Epoch()}
+	return CollectSnapshot(ds.Snapshot(), q)
+}
+
+// CollectSnapshot computes exact statistics over one pinned immutable
+// snapshot, so collection is consistent (and race-free) under
+// concurrent ingest.
+func CollectSnapshot(snap *rdf.Snapshot, q *sparql.Query) (*Stats, error) {
+	s := &Stats{Patterns: make([]PatternStats, len(q.Patterns)), Epoch: snap.Epoch()}
 	for i, tp := range q.Patterns {
-		ps, err := collectPattern(ds, tp)
+		ps, err := collectPattern(snap.Dict(), snap.Triples(), tp)
 		if err != nil {
 			return nil, fmt.Errorf("pattern %d: %w", i, err)
 		}
@@ -50,14 +59,14 @@ func Collect(ds *rdf.Dataset, q *sparql.Query) (*Stats, error) {
 	return s, nil
 }
 
-func collectPattern(ds *rdf.Dataset, tp sparql.TriplePattern) (PatternStats, error) {
+func collectPattern(dict *rdf.Dict, triples []rdf.Triple, tp sparql.TriplePattern) (PatternStats, error) {
 	ps := PatternStats{Bindings: map[string]float64{}}
 	// Resolve constant terms; an unknown constant matches nothing.
 	resolve := func(t sparql.Term) (rdf.TermID, bool, error) {
 		if t.IsVar() {
 			return 0, false, nil
 		}
-		id, ok := ds.Dict.Lookup(t.Value)
+		id, ok := dict.Lookup(t.Value)
 		if !ok {
 			return 0, true, errUnknown
 		}
@@ -83,7 +92,7 @@ func collectPattern(ds *rdf.Dataset, tp sparql.TriplePattern) (PatternStats, err
 			distinct[t.Value][id] = struct{}{}
 		}
 	}
-	for _, tr := range ds.Triples {
+	for _, tr := range triples {
 		if sConst && tr.S != sid {
 			continue
 		}
@@ -117,25 +126,34 @@ var errUnknown = fmt.Errorf("unknown constant")
 // heavy hitters. rate must be in (0, 1]; rate 1 is exact collection.
 // Use it when the dataset is too large to scan per pattern.
 func CollectSampled(ds *rdf.Dataset, q *sparql.Query, rate float64) (*Stats, error) {
+	return CollectSampledSnapshot(ds.Snapshot(), q, rate)
+}
+
+// CollectSampledSnapshot is CollectSampled over a pinned snapshot.
+func CollectSampledSnapshot(snap *rdf.Snapshot, q *sparql.Query, rate float64) (*Stats, error) {
 	if rate <= 0 || rate > 1 {
 		return nil, fmt.Errorf("stats: sampling rate %v outside (0, 1]", rate)
 	}
 	if rate == 1 {
-		return Collect(ds, q)
+		return CollectSnapshot(snap, q)
 	}
 	step := int(1 / rate)
 	if step < 1 {
 		step = 1
 	}
-	sample := &rdf.Dataset{Dict: ds.Dict}
-	for i := 0; i < len(ds.Triples); i += step {
-		sample.Triples = append(sample.Triples, ds.Triples[i])
+	all := snap.Triples()
+	sample := make([]rdf.Triple, 0, len(all)/step+1)
+	for i := 0; i < len(all); i += step {
+		sample = append(sample, all[i])
 	}
-	s, err := Collect(sample, q)
-	if err != nil {
-		return nil, err
+	s := &Stats{Patterns: make([]PatternStats, len(q.Patterns)), Epoch: snap.Epoch()}
+	for i, tp := range q.Patterns {
+		ps, err := collectPattern(snap.Dict(), sample, tp)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		s.Patterns[i] = ps
 	}
-	s.Epoch = ds.Epoch() // the sample dataset is a throwaway at epoch 0
 	scale := float64(step)
 	for i := range s.Patterns {
 		s.Patterns[i].Card *= scale

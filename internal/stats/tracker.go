@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+)
+
+// Tracker maintains per-predicate statistics — cardinality and
+// distinct subject/object counts — incrementally under ingest. It is
+// seeded with one full scan of a snapshot and then folds each
+// committed WriteDelta in O(|delta|), so the serving path can answer
+// the dominant (?s <p> ?o) pattern-stats shape without rescanning the
+// dataset per query. Patterns the tracker cannot answer exactly
+// (variable predicates, constant subjects/objects, repeated
+// variables) fall back to a snapshot scan in CollectTracked.
+type Tracker struct {
+	mu    sync.RWMutex
+	epoch uint64
+	total int64
+	preds map[rdf.TermID]*predAgg
+}
+
+type predAgg struct {
+	card     int64
+	subjects map[rdf.TermID]struct{}
+	objects  map[rdf.TermID]struct{}
+}
+
+// NewTracker seeds a tracker with one pass over the snapshot.
+func NewTracker(snap *rdf.Snapshot) *Tracker {
+	t := &Tracker{epoch: snap.Epoch(), preds: make(map[rdf.TermID]*predAgg)}
+	for _, tr := range snap.Triples() {
+		t.fold(tr)
+	}
+	t.total = int64(snap.Len())
+	return t
+}
+
+func (t *Tracker) fold(tr rdf.Triple) {
+	g := t.preds[tr.P]
+	if g == nil {
+		g = &predAgg{subjects: make(map[rdf.TermID]struct{}), objects: make(map[rdf.TermID]struct{})}
+		t.preds[tr.P] = g
+	}
+	g.card++
+	g.subjects[tr.S] = struct{}{}
+	g.objects[tr.O] = struct{}{}
+}
+
+// Apply folds one committed write delta and advances the tracker to
+// its epoch. Deltas must be applied in commit order. A nil/empty
+// delta just advances the epoch — the hook for epoch-only bumps
+// (placement migrations) that change no triples.
+func (t *Tracker) Apply(delta []rdf.Triple, epoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tr := range delta {
+		t.fold(tr)
+	}
+	t.total += int64(len(delta))
+	if epoch > t.epoch {
+		t.epoch = epoch
+	}
+}
+
+// Epoch returns the epoch the tracker's aggregates reflect.
+func (t *Tracker) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Total returns the tracked triple count.
+func (t *Tracker) Total() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.total
+}
+
+// PredCard returns the cardinality and distinct subject/object counts
+// of one predicate.
+func (t *Tracker) PredCard(p rdf.TermID) (card, subjects, objects int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	g := t.preds[p]
+	if g == nil {
+		return 0, 0, 0
+	}
+	return g.card, int64(len(g.subjects)), int64(len(g.objects))
+}
+
+// CollectTracked computes pattern statistics for q at the snapshot,
+// answering (variable-S, constant-P, variable-O) patterns from the
+// tracker's aggregates in O(1) and scanning the snapshot only for the
+// shapes the tracker does not cover. The tracker must be exactly at
+// the snapshot's epoch; when it is not (a lagging pending-write queue,
+// or the tracker already ahead of an older pinned snapshot), the call
+// degrades to a plain CollectSnapshot so the statistics always
+// describe the pinned snapshot.
+func CollectTracked(t *Tracker, snap *rdf.Snapshot, q *sparql.Query) (*Stats, error) {
+	if t == nil || t.Epoch() != snap.Epoch() {
+		return CollectSnapshot(snap, q)
+	}
+	s := &Stats{Patterns: make([]PatternStats, len(q.Patterns)), Epoch: snap.Epoch()}
+	for i, tp := range q.Patterns {
+		if ps, ok := t.patternFast(snap.Dict(), tp); ok {
+			s.Patterns[i] = ps
+			continue
+		}
+		ps, err := collectPattern(snap.Dict(), snap.Triples(), tp)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		s.Patterns[i] = ps
+	}
+	return s, nil
+}
+
+// patternFast answers one pattern from the aggregates if its shape is
+// (distinct variable S, constant P, distinct variable O).
+func (t *Tracker) patternFast(dict *rdf.Dict, tp sparql.TriplePattern) (PatternStats, bool) {
+	if !tp.S.IsVar() || tp.P.IsVar() || !tp.O.IsVar() || tp.S.Value == tp.O.Value {
+		return PatternStats{}, false
+	}
+	pid, ok := dict.Lookup(tp.P.Value)
+	if !ok {
+		// Unknown predicate constant: zero matches, one binding floor —
+		// the same convention as the scanning collector.
+		return PatternStats{Card: 0, Bindings: map[string]float64{tp.S.Value: 1, tp.O.Value: 1}}, true
+	}
+	card, subj, obj := t.PredCard(pid)
+	bs, bo := float64(subj), float64(obj)
+	if bs < 1 {
+		bs = 1
+	}
+	if bo < 1 {
+		bo = 1
+	}
+	return PatternStats{Card: float64(card), Bindings: map[string]float64{tp.S.Value: bs, tp.O.Value: bo}}, true
+}

@@ -135,23 +135,38 @@ func TestPlanCacheConcurrent(t *testing.T) {
 		t.Errorf("hits+misses = %d, want %d", got, wantN)
 	}
 
-	// Epoch bump: every fingerprint is re-optimized exactly once more.
+	// Predicate-scoped invalidation: a write touching only <knows>
+	// re-optimizes exactly the fingerprints whose predicate sets
+	// include it; the three shapes over {worksFor, inCity, name} keep
+	// serving their cached plans without re-entering the optimizer.
+	touchesKnows := map[int]bool{0: true, 1: true, 3: true, 4: true, 6: true}
 	ds.Add("http://zed", "http://knows", "http://alice")
-	for _, src := range cacheQueries {
+	for i, src := range cacheQueries {
 		res, err := cached.Run(context.Background(), src, WithAlgorithm(TDCMD))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.CacheInfo.Hit {
-			t.Fatalf("stale plan served after dataset mutation: %q", src)
+		if touchesKnows[i] && res.CacheInfo.Hit {
+			t.Fatalf("stale plan served after a write to its predicate: %q", src)
+		}
+		if !touchesKnows[i] {
+			if !res.CacheInfo.Hit {
+				t.Fatalf("untouched-predicate shape re-optimized: %q", src)
+			}
+			if res.EnumeratedJoins() != 0 {
+				t.Fatalf("untouched-predicate shape enumerated %d joins: %q", res.EnumeratedJoins(), src)
+			}
 		}
 	}
 	st = cached.CacheStats()
-	if st.Misses != int64(2*len(cacheQueries)) {
-		t.Errorf("%d misses after epoch bump, want %d", st.Misses, 2*len(cacheQueries))
+	if want := int64(len(cacheQueries) + len(touchesKnows)); st.Misses != want {
+		t.Errorf("%d misses after the write, want %d (only touched shapes re-optimize)", st.Misses, want)
 	}
-	if st.Invalidations == 0 {
-		t.Error("no invalidations recorded after epoch bump")
+	if want := int64(len(cacheQueries) - len(touchesKnows)); st.Retained != want {
+		t.Errorf("%d retained entries, want %d", st.Retained, want)
+	}
+	if want := int64(len(touchesKnows)); st.Invalidations != want {
+		t.Errorf("%d invalidations after the write, want %d", st.Invalidations, want)
 	}
 	// And the re-optimized plans are cached again.
 	res, err := cached.Run(context.Background(), cacheQueries[0], WithAlgorithm(TDCMD))

@@ -142,6 +142,10 @@ const (
 	// FaultCacheLookup fails the plan-cache lookup (the serving path
 	// degrades to a cache bypass).
 	FaultCacheLookup = faultinject.CacheLookup
+	// FaultRdfSnapshot panics while a committed write is applied to the
+	// serving snapshot; the apply is deferred (see System.FlushWrites),
+	// never lost, and serving continues on the previous snapshot.
+	FaultRdfSnapshot = faultinject.RdfSnapshot
 )
 
 // The optimization algorithms of the paper.
@@ -246,6 +250,12 @@ type System struct {
 	placeMu      sync.RWMutex      // guards placement once migrations can swap it
 	migMu        sync.Mutex        // serializes migration rounds
 	migWG        sync.WaitGroup    // tracks in-flight background migrations
+
+	tracker     *stats.Tracker // incremental per-predicate statistics
+	writeMu     sync.Mutex     // serializes write-delta applies onto the serving snapshot
+	pending     []rdf.WriteDelta
+	writeFaults *FaultSet // nil outside chaos tests
+	unhook      func()    // unregisters the dataset commit hook
 }
 
 // obsState bundles the observability wiring of one System: the metrics
@@ -274,6 +284,8 @@ type openConfig struct {
 	memTotal      int64
 	obs           *obsConfig
 	adaptive      *AdaptiveConfig
+	scopedOff     bool
+	writeFaults   *FaultSet
 }
 
 type obsConfig struct {
@@ -362,6 +374,26 @@ func WithMemoryBudget(perQuery, total int64) Option {
 // default (and rate 1) is exact collection.
 func WithSampledStats(rate float64) Option { return func(c *openConfig) { c.sampleRate = rate } }
 
+// WithScopedInvalidation controls predicate-scoped plan-cache
+// invalidation (default on). When on, a committed write invalidates
+// only the cached plans and statistics whose predicate sets intersect
+// the predicates the write touched; shapes over disjoint predicates
+// keep serving their cached plans without re-optimizing. Off restores
+// the epoch-wide behavior: any write invalidates every cached shape.
+// The knob exists for A/B benchmarks (the ingest experiment) and as an
+// escape hatch; scoped invalidation never serves a stale plan for a
+// touched predicate.
+func WithScopedInvalidation(on bool) Option { return func(c *openConfig) { c.scopedOff = !on } }
+
+// WithWriteFaultInjection arms deterministic fault injection on the
+// write-apply path: the hook that folds each committed write into the
+// incremental statistics and the engine's ingest delta (site
+// FaultRdfSnapshot). An injected fault defers the apply — the commit
+// is never lost — and serving continues on the previous snapshot until
+// FlushWrites (or a later successful write) re-drives it. Chaos
+// testing only; nil is a no-op.
+func WithWriteFaultInjection(f *FaultSet) Option { return func(c *openConfig) { c.writeFaults = f } }
+
 // AdaptiveConfig configures the adaptive-repartitioning advisor. Zero
 // fields take defaults: 1 MiB trigger, 3 recurring queries, a
 // replication budget of 0.5× the dataset, balance factor 2.
@@ -378,6 +410,13 @@ type AdaptiveConfig struct {
 	// BalanceFactor rejects a migration that would leave any node's
 	// fragment larger than this factor times the mean fragment size.
 	BalanceFactor float64
+	// DecayHalfLife, when positive, ages the advisor's per-group
+	// accumulators: a group's observed shuffle weight halves every
+	// DecayHalfLife observed queries, so yesterday's hot spot must stay
+	// hot to trigger (or keep) a migration, and groups that go cold are
+	// expired from the tracking table (AdvisorStats.ExpiredGroups). 0
+	// (the default) disables decay: weights accumulate forever.
+	DecayHalfLife int
 	// Synchronous applies migrations on the serving goroutine that
 	// triggered them instead of in the background — deterministic for
 	// tests and benchmarks; production systems leave it false.
@@ -453,6 +492,8 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 	}
 	eng := engine.New(ds.Dict, placement)
 	eng.SetParallelism(cfg.parallelism)
+	snap := ds.Snapshot()
+	eng.SetData(snap)
 	s := &System{
 		ds:          ds,
 		method:      cfg.method,
@@ -463,7 +504,17 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		engine:      eng,
 		cache:       plancache.New(cfg.planCache),
 		budget:      resilience.NewBudget(cfg.memPerQuery, cfg.memTotal),
+		tracker:     stats.NewTracker(snap),
+		writeFaults: cfg.writeFaults,
 	}
+	if s.cache != nil && !cfg.scopedOff {
+		s.cache.SetInvalidation(ds.Dict.Lookup, ds.ChangedBetween)
+	}
+	// Every committed write is folded into the serving snapshot —
+	// incremental statistics plus the engine's ingest delta — while the
+	// commit hook holds the dataset's writer lock, so applies happen in
+	// commit order and readers only ever see fully-published snapshots.
+	s.unhook = ds.OnCommit(s.applyWrite)
 	if cfg.maxConcurrent > 0 {
 		s.adm = resilience.NewAdmission(cfg.maxConcurrent, cfg.maxQueued)
 	}
@@ -473,6 +524,7 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 			MinQueries:        cfg.adaptive.MinQueries,
 			ReplicationBudget: cfg.adaptive.ReplicationBudget,
 			BalanceFactor:     cfg.adaptive.BalanceFactor,
+			DecayHalfLife:     cfg.adaptive.DecayHalfLife,
 		})
 		s.adaptiveSync = cfg.adaptive.Synchronous
 	}
@@ -496,6 +548,8 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		s.optInst = opt.NewInstruments(r)
 		eng.SetInstruments(engine.NewInstruments(r))
 		s.cache.RegisterMetrics(r)
+		r.GaugeFunc("ingest_pending_writes", "Committed write deltas not yet applied to the serving snapshot.",
+			func() float64 { return float64(s.PendingWrites()) })
 		s.resInst = resilience.NewInstruments(r)
 		s.resInst.ObserveAdmission(s.adm)
 		s.resInst.ObserveBudget(s.budget)
@@ -595,16 +649,17 @@ func (s *System) OptimizeQuery(ctx context.Context, q *Query, opts ...RunOption)
 	}
 	g := s.budget.NewGauge()
 	defer g.Reset()
-	return s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr)
+	return s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr, s.engine.Snapshot())
 }
 
 // optimizeTraced is the uncached optimization path: collect statistics
 // and enumerate, each under its own trace phase. The enumeration alone
 // runs under set.OptTimeout when one is configured; memo growth charges
-// against g.
-func (s *System) optimizeTraced(ctx context.Context, q *Query, algo Algorithm, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace) (*OptimizeResult, error) {
+// against g. Statistics are collected over the pinned snapshot snap,
+// so concurrent ingest cannot shift the numbers mid-optimization.
+func (s *System) optimizeTraced(ctx context.Context, q *Query, algo Algorithm, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace, snap *engine.Snap) (*OptimizeResult, error) {
 	sp := tr.Span("stats")
-	st, err := s.collect(q)
+	st, err := s.collect(q, snap)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -626,16 +681,30 @@ func (s *System) optimizeTraced(ctx context.Context, q *Query, algo Algorithm, s
 	return res, nil
 }
 
-// collect gathers per-pattern statistics for q, going through the
-// cache's snapshot layer when caching is enabled.
-func (s *System) collect(q *Query) (*stats.Stats, error) {
+// collect gathers per-pattern statistics for q over the pinned
+// snapshot, going through the cache's snapshot layer when caching is
+// enabled. Exact collection answers the dominant (?s <p> ?o) shapes
+// from the incremental tracker in O(1) when the tracker is current at
+// the snapshot's epoch; sampled collection and tracker-uncoverable
+// shapes scan the pinned snapshot.
+func (s *System) collect(q *Query, snap *engine.Snap) (*stats.Stats, error) {
 	if s.cache == nil {
-		return stats.CollectSampled(s.ds, q, s.sampleRate)
+		return s.collectRaw(q, snap)
 	}
-	st, _, err := s.cache.StatsFor(q, s.ds.Epoch(), func(q *sparql.Query) (*stats.Stats, error) {
-		return stats.CollectSampled(s.ds, q, s.sampleRate)
+	st, _, err := s.cache.StatsFor(q, snap.Data().Epoch(), func(q *sparql.Query) (*stats.Stats, error) {
+		return s.collectRaw(q, snap)
 	})
 	return st, err
+}
+
+// collectRaw is collection without the cache's snapshot layer — the
+// callback handed to the cache machinery, which must not re-enter it.
+func (s *System) collectRaw(q *Query, snap *engine.Snap) (*stats.Stats, error) {
+	data := snap.Data()
+	if s.sampleRate < 1 {
+		return stats.CollectSampledSnapshot(data, q, s.sampleRate)
+	}
+	return stats.CollectTracked(s.tracker, data, q)
 }
 
 // inputWithStats assembles the optimizer input around an existing
@@ -797,12 +866,17 @@ func (s *System) serveObserved(ctx context.Context, src string, q *Query, set op
 func (s *System) dispatch(ctx context.Context, q *Query, set opt.RunSettings, tr *obs.Trace) (*ExecResult, error) {
 	g := s.budget.NewGauge()
 	defer g.Reset()
-	res, info, degraded, err := s.planLadder(ctx, q, set, g, tr)
+	// Pin the serving snapshot once: one atomic load fixes the store
+	// view, the ingest delta, the dataset snapshot and its epoch for
+	// the whole query — statistics, cache lookup and execution all see
+	// the same committed state no matter how many writes land mid-run.
+	snap := s.engine.Snapshot()
+	res, info, degraded, err := s.planLadder(ctx, q, set, g, tr, snap)
 	if err != nil {
 		return nil, err
 	}
 	sp := tr.Span("execute")
-	out, err := s.engine.ExecuteEnv(ctx, res.Plan, q, engine.ExecEnv{Gauge: g, Faults: set.Faults})
+	out, err := s.engine.ExecuteEnv(ctx, res.Plan, q, engine.ExecEnv{Gauge: g, Faults: set.Faults, Snap: snap})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -905,10 +979,24 @@ func (s *System) migrateLocked() error {
 	s.engine.ApplyMigration(prop.Migration, prop.Alignment)
 	s.setPlacement(next)
 	s.advisor.Commit(prop)
-	// Flip the epoch: cached plans and statistics snapshots were
-	// derived under the old placement; the next query of each shape
-	// re-optimizes against the new one.
-	s.ds.BumpEpoch()
+	// Flip the epoch, attributed to the migrated predicates: cached
+	// plans whose shapes touch them were costed under the old placement
+	// and re-optimize; shapes over disjoint predicates keep their plans
+	// (a migration only adds copies of the migrated groups — placement
+	// and costs for everything else are unchanged).
+	preds := make([]rdf.TermID, 0, len(prop.Keys))
+	seen := make(map[rdf.TermID]bool, len(prop.Keys))
+	for _, k := range prop.Keys {
+		if !seen[k.Pred] {
+			seen[k.Pred] = true
+			preds = append(preds, k.Pred)
+		}
+	}
+	epoch := s.ds.BumpEpochPreds(preds...)
+	// The triple set did not change: advance the tracker and republish
+	// the engine's dataset snapshot so serving pins the new epoch.
+	s.tracker.Apply(nil, epoch)
+	s.engine.SetData(s.ds.Snapshot())
 	return nil
 }
 
@@ -934,6 +1022,7 @@ func (s *System) AdvisorConfig() AdaptiveConfig {
 		MinQueries:        cfg.MinQueries,
 		ReplicationBudget: cfg.ReplicationBudget,
 		BalanceFactor:     cfg.BalanceFactor,
+		DecayHalfLife:     cfg.DecayHalfLife,
 		Synchronous:       s.adaptiveSync,
 	}
 }
@@ -942,6 +1031,74 @@ func (s *System) AdvisorConfig() AdaptiveConfig {
 // kicked off so far has finished — for tests and benchmarks that need
 // a quiesced system; serving never requires it.
 func (s *System) WaitForMigrations() { s.migWG.Wait() }
+
+// applyWrite is the dataset commit hook: it folds one committed write
+// delta into the serving snapshot — the incremental statistics tracker
+// and the engine's ingest delta — in commit order. A failed apply
+// (only injected faults and bugs can fail it; there is no I/O here) is
+// deferred, not dropped: serving continues on the previous snapshot,
+// consistently lagging the commit, until a later write or FlushWrites
+// re-drives the queue.
+func (s *System) applyWrite(wd rdf.WriteDelta) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.pending = append(s.pending, wd)
+	s.drainLocked(s.writeFaults)
+}
+
+// drainLocked applies queued write deltas in order, stopping at the
+// first failure (the failed delta stays queued). Caller holds writeMu.
+func (s *System) drainLocked(faults *FaultSet) {
+	for len(s.pending) > 0 {
+		if err := s.applyOne(s.pending[0], faults); err != nil {
+			return
+		}
+		s.pending = s.pending[1:]
+	}
+}
+
+// applyOne folds one delta into the tracker and the engine, recovering
+// panics (injected or real) into an error so a poisoned delta can
+// never take down the writer.
+func (s *System) applyOne(wd rdf.WriteDelta, faults *FaultSet) (err error) {
+	defer resilience.CatchPanic(&err, nil)
+	faults.PanicIf(faultinject.RdfSnapshot)
+	s.engine.ApplyIngest(wd.Triples, wd.Snap)
+	s.tracker.Apply(wd.Triples, wd.Epoch)
+	return nil
+}
+
+// PendingWrites reports how many committed write deltas have not yet
+// been applied to the serving snapshot. Non-zero only after a faulted
+// apply (see WithWriteFaultInjection); the committed triples are
+// durable in the dataset either way, they are just not visible to new
+// queries yet.
+func (s *System) PendingWrites() int {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return len(s.pending)
+}
+
+// FlushWrites re-drives any deferred write applies, without fault
+// injection, and reports whether the queue drained. Tests call it
+// after a chaos phase to verify nothing was lost.
+func (s *System) FlushWrites() bool {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.drainLocked(nil)
+	return len(s.pending) == 0
+}
+
+// Close detaches the system from its dataset's commit hook. Writes
+// committed after Close are still durable in the dataset but no longer
+// feed this system's serving snapshot; use it when a System is
+// discarded while others keep serving the same dataset.
+func (s *System) Close() {
+	if s.unhook != nil {
+		s.unhook()
+		s.unhook = nil
+	}
+}
 
 // degradable reports whether a planning failure is worth retrying with
 // a cheaper algorithm: the call itself is still alive (its context has
@@ -977,8 +1134,8 @@ func ladderSteps(algo Algorithm) []Algorithm {
 // ladder when planning fails recoverably. The returned degraded slice
 // — one human-readable entry per fallback taken — ends up on
 // ExecResult.Degraded; it is nil for the healthy path.
-func (s *System) planLadder(ctx context.Context, q *Query, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace) (*opt.Result, engine.CacheInfo, []string, error) {
-	res, info, err := s.plan(ctx, q, set, g, tr)
+func (s *System) planLadder(ctx context.Context, q *Query, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace, snap *engine.Snap) (*opt.Result, engine.CacheInfo, []string, error) {
+	res, info, err := s.plan(ctx, q, set, g, tr, snap)
 	if err == nil {
 		return res, info, nil, nil
 	}
@@ -988,7 +1145,7 @@ func (s *System) planLadder(ctx context.Context, q *Query, set opt.RunSettings, 
 		// The cache machinery itself failed — the query is fine. Serve
 		// it uncached.
 		degraded = append(degraded, fmt.Sprintf("cache bypass: %v", le.Cause))
-		res, err = s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr)
+		res, err = s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr, snap)
 		if err == nil {
 			return res, engine.CacheInfo{}, degraded, nil
 		}
@@ -1000,7 +1157,7 @@ func (s *System) planLadder(ctx context.Context, q *Query, set opt.RunSettings, 
 		}
 		degraded = append(degraded, fmt.Sprintf("%s failed (%v); retrying with %s", prev, err, next))
 		g.Reset() // a failed attempt's memo charges must not starve the retry
-		res, err = s.optimizeTraced(ctx, q, next, set, g, tr)
+		res, err = s.optimizeTraced(ctx, q, next, set, g, tr, snap)
 		if err == nil {
 			return res, engine.CacheInfo{}, degraded, nil
 		}
@@ -1012,17 +1169,17 @@ func (s *System) planLadder(ctx context.Context, q *Query, set opt.RunSettings, 
 // plan produces the physical plan for q: through the plan cache when
 // one is configured and the call did not opt out, otherwise the plain
 // stats + enumerate pipeline.
-func (s *System) plan(ctx context.Context, q *Query, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace) (*opt.Result, engine.CacheInfo, error) {
+func (s *System) plan(ctx context.Context, q *Query, set opt.RunSettings, g *resilience.Gauge, tr *obs.Trace, snap *engine.Snap) (*opt.Result, engine.CacheInfo, error) {
 	if s.cache == nil || set.NoCache {
-		res, err := s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr)
+		res, err := s.optimizeTraced(ctx, q, set.Algorithm, set, g, tr, snap)
 		return res, engine.CacheInfo{}, err
 	}
 	if set.Faults.Should(faultinject.CacheLookup) {
 		return nil, engine.CacheInfo{}, &plancache.LookupError{Cause: faultinject.Injected{Site: faultinject.CacheLookup}}
 	}
-	res, info, err := s.cache.Optimize(ctx, q, set.Algorithm, s.ds.Epoch(),
+	res, info, err := s.cache.Optimize(ctx, q, set.Algorithm, snap.Data().Epoch(),
 		func(q *sparql.Query) (*stats.Stats, error) {
-			return stats.CollectSampled(s.ds, q, s.sampleRate)
+			return s.collectRaw(q, snap)
 		},
 		func(ctx context.Context, q *sparql.Query, st *stats.Stats) (*opt.Result, error) {
 			in, err := s.inputWithStats(q, st, set, g)
