@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all lint vet build test race determinism obs chaos bench bench-smoke fuzz-smoke check
+.PHONY: all lint vet build test race determinism obs chaos bench bench-smoke serve-smoke fuzz-smoke check
 
 all: check
 
@@ -76,6 +76,17 @@ bench-smoke:
 	$(GO) run ./cmd/benchrunner -experiment adaptive -quick -adaptivejson ''
 	$(GO) run ./cmd/benchrunner -experiment ingest -quick -ingestjson ''
 
+# The HTTP serving gate: a race-instrumented pass over the SPARQL
+# protocol conformance suite, then the smoke test — one server on a
+# random port serving a mixed workload (cache hits and misses, an
+# overload burst, a mid-stream client disconnect), a clean shutdown
+# and a zero-goroutine-leak check — plus a quick pass of the serving
+# benchmark harness (JSON artifact suppressed).
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/httpd
+	$(GO) test -race -run TestServeSmoke -count=2 ./internal/httpd
+	$(GO) run ./cmd/benchrunner -experiment serving -quick -servingjson ''
+
 # Short fuzzing passes over the parser and the plan-cache
 # fingerprinter, seeded from the checked-in corpora. 5 s each: enough
 # to replay the corpus and mutate a little, fast enough for the gate.
@@ -83,4 +94,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/sparql
 	$(GO) test -run='^$$' -fuzz='^FuzzCanonicalize$$' -fuzztime=5s ./internal/querygraph
 
-check: lint build race determinism obs chaos bench-smoke fuzz-smoke
+check: lint build race determinism obs chaos bench-smoke serve-smoke fuzz-smoke

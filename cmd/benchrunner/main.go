@@ -9,7 +9,7 @@
 //	             table3 | table4 | table5 | table6 | table7 |
 //	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
 //	             engine | plancache | obsoverhead | overload |
-//	             factorized | adaptive | all
+//	             factorized | adaptive | ingest | serving | all
 //	             (default all; ablation is this repo's extra study of
 //	             the TD-CMDP pruning rules; engine profiles end-to-end
 //	             execution and writes BENCH_engine.json; plancache
@@ -48,6 +48,10 @@
 //	             (default BENCH_adaptive.json; empty disables the file)
 //	-ingestjson  output path of the serving-under-ingest profile
 //	             (default BENCH_ingest.json; empty disables the file)
+//	-servingjson output path of the HTTP serving profile: streaming vs
+//	             materializing responses over real sockets (p50/p99 and
+//	             peak heap per mode) plus duplicate-query coalescing
+//	             counts (default BENCH_serving.json; empty disables)
 //	-metrics     append a Prometheus metrics snapshot to the output of
 //	             the serving-path experiments (engine, plancache,
 //	             obsoverhead)
@@ -83,6 +87,7 @@ func main() {
 		factJSON     = flag.String("factorizedjson", "BENCH_factorized.json", "factorized-execution profile output path (empty = no file)")
 		adaptJSON    = flag.String("adaptivejson", "BENCH_adaptive.json", "adaptive-repartitioning profile output path (empty = no file)")
 		ingestJSON   = flag.String("ingestjson", "BENCH_ingest.json", "serving-under-ingest profile output path (empty = no file)")
+		servingJSON  = flag.String("servingjson", "BENCH_serving.json", "HTTP serving profile output path (empty = no file)")
 		metrics      = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
 	)
 	flag.Parse()
@@ -118,8 +123,9 @@ func main() {
 		"factorized":  func(cfg bench.Config) error { return bench.FactorizedBench(cfg, *factJSON) },
 		"adaptive":    func(cfg bench.Config) error { return bench.AdaptiveBench(cfg, *adaptJSON) },
 		"ingest":      func(cfg bench.Config) error { return bench.IngestBench(cfg, *ingestJSON) },
+		"serving":     func(cfg bench.Config) error { return bench.ServingBench(cfg, *servingJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized", "adaptive", "ingest"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized", "adaptive", "ingest", "serving"}
 
 	run := func(name string) {
 		start := time.Now()

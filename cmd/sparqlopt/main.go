@@ -9,8 +9,8 @@
 //
 //	-data       N-Triples file to load
 //	-query      file containing one SELECT query
-//	-algorithm  td-cmd | td-cmdp | hgr-td-cmd | td-auto | msc |
-//	            dp-bushy | binary-dp   (default td-auto)
+//	-algorithm  td-cmd | td-cmdp | hgr-td-cmd | td-auto | greedy |
+//	            msc | dp-bushy | binary-dp   (default td-auto)
 //	-partition  hash-so | 2f | 2fb | path-bmc | un-1hop (default hash-so)
 //	-nodes      simulated cluster size (default 10)
 //	-execute    run the plan on the simulated cluster and print results
@@ -37,6 +37,9 @@
 //	            carrying a retry-after hint (0 = unlimited)
 //	-max-queued with -max-concurrent: how many queries may wait for a
 //	            serving slot before rejections start (default 0)
+//	-limit      with -execute: stop each query after this many result
+//	            rows (0 = unlimited); the same option every serving
+//	            surface accepts (sparqld and the HTTP ?limit= parameter)
 //	-mem-budget per-query budget in bytes for materialized relations
 //	            and optimizer memo state; queries that would exceed it
 //	            degrade to cheaper plans or fail with a typed budget
@@ -101,6 +104,7 @@ func main() {
 		maxConc   = flag.Int("max-concurrent", 0, "admission control: max concurrently served queries (0 = unlimited)")
 		maxQueued = flag.Int("max-queued", 0, "admission control: max queries queued for a slot (with -max-concurrent)")
 		memBudget = flag.Int64("mem-budget", 0, "per-query memory budget in bytes for materialized state (0 = unlimited)")
+		limit     = flag.Int64("limit", 0, "with -execute: stop each query after this many result rows (0 = unlimited)")
 		adaptive  = flag.Bool("adaptive", false, "enable the adaptive repartitioning advisor (migrates hot triple groups as the workload repeats; advisor stats print on exit)")
 		decay     = flag.Int("decay-half-life", 0, "advisor accumulator half-life in observed queries: shuffle weights halve every N queries and cold groups expire (0 = no decay; with -adaptive)")
 	)
@@ -112,7 +116,7 @@ func main() {
 		repl: *repl, parallelism: *parallel, planCache: *planCache,
 		trace: *trace, metrics: *metrics, slowlog: *slowlog,
 		maxConcurrent: *maxConc, maxQueued: *maxQueued, memBudget: *memBudget,
-		adaptive: *adaptive, decayHalfLife: *decay,
+		limit: *limit, adaptive: *adaptive, decayHalfLife: *decay,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqlopt:", err)
 		os.Exit(1)
@@ -130,6 +134,7 @@ type runConfig struct {
 	timeout                                  time.Duration
 	maxConcurrent, maxQueued                 int
 	memBudget                                int64
+	limit                                    int64
 	adaptive                                 bool
 	decayHalfLife                            int
 }
@@ -287,6 +292,9 @@ func callOptions(cfg runConfig, algo opt.Algorithm) ([]sparqlopt.RunOption, func
 		sparqlopt.WithAlgorithm(algo),
 		sparqlopt.WithDeadline(cfg.timeout),
 	}
+	if cfg.limit > 0 {
+		runOpts = append(runOpts, sparqlopt.WithLimit(cfg.limit))
+	}
 	var last *sparqlopt.Trace
 	if cfg.trace {
 		runOpts = append(runOpts, sparqlopt.WithTraceSink(func(t *sparqlopt.Trace) { last = t }))
@@ -414,18 +422,10 @@ func optimize(ctx context.Context, in *opt.Input, algorithm string) (*opt.Result
 
 // optAlgo maps a CLI algorithm name to the optimizer's enum; baseline
 // algorithms (msc, dp-bushy, binary-dp) run outside the serving path.
+// The served names are the library's — identical across this CLI,
+// sparqld and the HTTP endpoint.
 func optAlgo(name string) (opt.Algorithm, bool) {
-	switch name {
-	case "td-cmd":
-		return opt.TDCMD, true
-	case "td-cmdp":
-		return opt.TDCMDP, true
-	case "hgr-td-cmd":
-		return opt.HGRTDCMD, true
-	case "td-auto":
-		return opt.TDAuto, true
-	}
-	return 0, false
+	return sparqlopt.AlgorithmByName(name)
 }
 
 // replLoop reads SPARQL queries from stdin (terminated by a line

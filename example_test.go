@@ -3,9 +3,14 @@ package sparqlopt_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 
 	"sparqlopt"
+	"sparqlopt/internal/httpd"
 )
 
 // ExampleOpen shows the minimal end-to-end flow: build a dataset,
@@ -59,6 +64,58 @@ func ExampleSystem_Optimize() {
 	// Output:
 	// enumerated join operators: 4
 	// plan is valid: true
+}
+
+// Example_serving shows the serving stack end to end: a System with
+// the serving options, the streaming results iterator, and the same
+// query over the SPARQL 1.1 HTTP protocol. RunStream yields rows as
+// the engine produces them — the response never materializes, so its
+// memory footprint is bounded regardless of result size.
+func Example_serving() {
+	ds := sparqlopt.NewDataset()
+	ds.Add("http://ex/alice", "http://ex/knows", "http://ex/bob")
+	ds.Add("http://ex/bob", "http://ex/knows", "http://ex/carol")
+
+	sys, err := sparqlopt.Open(ds,
+		sparqlopt.WithNodes(2),
+		sparqlopt.WithPlanCache(64),      // repeated shapes skip optimization
+		sparqlopt.WithExecutionSharing(), // identical in-flight reads share one execution
+		sparqlopt.WithAdmissionControl(8, 16),
+		sparqlopt.WithObservability())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	const query = `SELECT ?a ?c WHERE { ?a <http://ex/knows> ?b . ?b <http://ex/knows> ?c . }`
+
+	// The library face: iterate rows without materializing the result.
+	rows, err := sys.RunStream(context.Background(), query, sparqlopt.WithLimit(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		row := rows.Row() // valid until the next call to Next
+		fmt.Println(sys.Term(row[0]), "->", sys.Term(row[1]))
+	}
+	if err := rows.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The network face: the same call over the SPARQL 1.1 protocol.
+	srv := httptest.NewServer(httpd.New(sys, httpd.Config{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(query))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Println(resp.Header.Get("Content-Type"))
+	fmt.Print(string(body))
+	// Output:
+	// http://ex/alice -> http://ex/carol
+	// application/sparql-results+json
+	// {"head":{"vars":["a","c"]},"results":{"bindings":[{"a":{"type":"uri","value":"http://ex/alice"},"c":{"type":"uri","value":"http://ex/carol"}}]}}
 }
 
 // ExamplePartitionMethod demonstrates switching the partitioning

@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"sparqlopt"
+	"sparqlopt/internal/httpd"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/workload/lubm"
+)
+
+// ServingRecord is one (mode, workload) cell of the HTTP serving
+// experiment: a closed-loop client fleet over real sockets.
+type ServingRecord struct {
+	// Mode is "streaming" (RunStream row iterator behind the encoder)
+	// or "materializing" (Run collects the result before encoding).
+	Mode     string `json:"mode"`
+	Workload string `json:"workload"` // "mix" or "heavy"
+	Clients  int    `json:"clients"`
+	Offered  int    `json:"requests_offered"`
+	OK       int    `json:"succeeded"`
+	Failed   int    `json:"failed"`
+	// BodyBytes is the total response-body volume drained, a sanity
+	// check that both modes served the same results.
+	BodyBytes   int64   `json:"body_bytes"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	// PeakHeapBytes is the process's peak HeapInuse sampled while this
+	// cell ran (after a pre-cell GC) — the serving-side memory cost of
+	// the mode, dominated on "heavy" by whether results materialize.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+}
+
+// ShareRecord reports the duplicate-query coalescing phase: N
+// identical in-flight requests against a sharing-enabled server.
+type ShareRecord struct {
+	ConcurrentRequests int   `json:"concurrent_requests"`
+	Rounds             int   `json:"rounds"`
+	OK                 int   `json:"succeeded"`
+	Leads              int64 `json:"executions_led"`
+	Follows            int64 `json:"broadcast_follows"`
+	Fallbacks          int64 `json:"follower_fallbacks"`
+	Aborted            int64 `json:"broadcasts_aborted"`
+}
+
+// servingReport is the BENCH_serving.json payload.
+type servingReport struct {
+	Meta
+	// StreamingHeld is the experiment's acceptance criterion: on the
+	// heavy workload, streaming p99 stayed within 1.25x of
+	// materializing and peak heap within 1.10x (allowing sampler
+	// noise); streaming should in fact win on memory outright.
+	StreamingHeld bool            `json:"streaming_no_worse"`
+	Records       []ServingRecord `json:"records"`
+	Share         ShareRecord     `json:"share"`
+}
+
+// servingMix is the latency workload: the overload experiment's
+// cheap-to-moderate LUBM shapes, served over HTTP.
+var servingMix = []string{"L1", "L2", "L4", "L5", "L7"}
+
+// shareQuery is the duplicate-request workload: a two-pattern join
+// slow enough for identical requests to overlap in flight.
+const shareQuery = `PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?x ?y ?c WHERE { ?x ub:advisor ?y . ?x ub:takesCourse ?c . }`
+
+// heavyQuery scans the grid dataset below: side^2 rows, far more than
+// LUBM's shapes return, so the modes separate — materializing holds
+// the whole result while streaming holds one chunk.
+const heavyQuery = `SELECT * WHERE { ?a <n> ?b . }`
+
+// gridDataset builds a side x side complete bipartite edge set.
+func gridDataset(side int) *rdf.Dataset {
+	ds := rdf.NewDataset()
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			ds.Add(fmt.Sprintf("http://ex/a%d", i), "n", fmt.Sprintf("http://ex/b%d", j))
+		}
+	}
+	return ds
+}
+
+// ServingBench profiles the HTTP endpoint over real sockets: a latency
+// mix and a result-heavy scan, each served by two servers over the
+// same System — one streaming (the default), one materializing (the
+// pre-redesign behavior) — reporting p50/p99 and peak heap per mode,
+// then a duplicate-query phase against a sharing-enabled server
+// reporting how many identical in-flight requests coalesced onto one
+// execution. Results go to jsonPath (skipped when empty).
+func ServingBench(cfg Config, jsonPath string) error {
+	unis := 3
+	perClient, clients := 40, 8
+	gridSide, heavyRuns := 400, 16
+	shareRounds, shareWidth := 5, 8
+	if cfg.Quick {
+		unis, perClient, clients, shareRounds = 2, 8, 4, 2
+		gridSide, heavyRuns = 200, 6
+	}
+	ds := lubm.Generate(lubm.Config{Universities: unis, Seed: cfg.seed(), Compact: true})
+
+	sys, err := sparqlopt.Open(ds,
+		sparqlopt.WithNodes(cfg.nodes()),
+		sparqlopt.WithParallelism(cfg.Parallelism),
+		sparqlopt.WithPlanCache(64))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// One node keeps the heavy scan dedup-free, so the streamed path's
+	// resident state really is one chunk — the shape the redesign's
+	// bounded-memory guarantee covers.
+	heavySys, err := sparqlopt.Open(gridDataset(gridSide),
+		sparqlopt.WithNodes(1),
+		sparqlopt.WithParallelism(cfg.Parallelism),
+		sparqlopt.WithPlanCache(64))
+	if err != nil {
+		return err
+	}
+	defer heavySys.Close()
+
+	stream := httptest.NewServer(httpd.New(sys, httpd.Config{}))
+	defer stream.Close()
+	mat := httptest.NewServer(httpd.New(sys, httpd.Config{Materialize: true}))
+	defer mat.Close()
+	heavyStreamSrv := httptest.NewServer(httpd.New(heavySys, httpd.Config{}))
+	defer heavyStreamSrv.Close()
+	heavyMatSrv := httptest.NewServer(httpd.New(heavySys, httpd.Config{Materialize: true}))
+	defer heavyMatSrv.Close()
+
+	report := servingReport{Meta: cfg.meta()}
+	w := tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "HTTP serving profile (%d universities, %d clients x %d requests)\n", unis, clients, perClient)
+	fmt.Fprintln(w, "Mode\tWorkload\tOK\tFailed\tRPS\tp50\tp99\tpeak heap")
+
+	modes := []struct {
+		name     string
+		mixURL   string
+		heavyURL string
+	}{{"streaming", stream.URL, heavyStreamSrv.URL}, {"materializing", mat.URL, heavyMatSrv.URL}}
+
+	var mixQueries []string
+	for _, name := range servingMix {
+		mixQueries = append(mixQueries, lubm.QueryText(name))
+	}
+	var heavyStream, heavyMat ServingRecord
+	for _, mode := range modes {
+		rec := servingLevel(mode.name, "mix", mode.mixURL, mixQueries, clients, perClient)
+		report.Records = append(report.Records, rec)
+		printServing(w, rec)
+
+		rec = servingLevel(mode.name, "heavy", mode.heavyURL, []string{heavyQuery}, 2, heavyRuns)
+		report.Records = append(report.Records, rec)
+		printServing(w, rec)
+		if mode.name == "streaming" {
+			heavyStream = rec
+		} else {
+			heavyMat = rec
+		}
+	}
+	report.StreamingHeld = heavyStream.P99Millis <= 1.25*heavyMat.P99Millis &&
+		float64(heavyStream.PeakHeapBytes) <= 1.10*float64(heavyMat.PeakHeapBytes)
+	fmt.Fprintf(w, "heavy: streaming p99 %.1fms vs materializing %.1fms, peak heap %.1f MiB vs %.1f MiB — no worse: %v\n",
+		heavyStream.P99Millis, heavyMat.P99Millis,
+		float64(heavyStream.PeakHeapBytes)/(1<<20), float64(heavyMat.PeakHeapBytes)/(1<<20),
+		report.StreamingHeld)
+
+	share, err := servingShare(cfg, ds, shareRounds, shareWidth)
+	if err != nil {
+		return err
+	}
+	report.Share = share
+	fmt.Fprintf(w, "sharing: %d identical in-flight requests x %d rounds -> %d executions led, %d broadcast follows, %d fallbacks\n",
+		share.ConcurrentRequests, share.Rounds, share.Leads, share.Follows, share.Fallbacks)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out(), "wrote %d records to %s\n", len(report.Records), jsonPath)
+	return nil
+}
+
+func printServing(w io.Writer, rec ServingRecord) {
+	fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\t%.1fms\t%.1fms\t%.1f MiB\n",
+		rec.Mode, rec.Workload, rec.OK, rec.Failed, rec.Throughput,
+		rec.P50Millis, rec.P99Millis, float64(rec.PeakHeapBytes)/(1<<20))
+}
+
+// servingLevel drives one closed-loop cell: clients goroutines each
+// issuing perClient GETs round-robin over queries, draining every
+// response body, while a sampler tracks peak heap.
+func servingLevel(mode, workload, baseURL string, queries []string, clients, perClient int) ServingRecord {
+	rec := ServingRecord{Mode: mode, Workload: workload, Clients: clients, Offered: clients * perClient}
+	stopSampler := make(chan struct{})
+	peakc := make(chan uint64, 1)
+	runtime.GC()
+	go func() {
+		var peak uint64
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				peakc <- peak
+				return
+			case <-tick.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				qStart := time.Now()
+				n, err := drainGet(baseURL + "/sparql?query=" + url.QueryEscape(q))
+				d := time.Since(qStart)
+				mu.Lock()
+				if err != nil {
+					rec.Failed++
+				} else {
+					rec.OK++
+					rec.BodyBytes += n
+					latencies = append(latencies, d)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	rec.WallSeconds = time.Since(start).Seconds()
+	close(stopSampler)
+	rec.PeakHeapBytes = <-peakc
+	if rec.WallSeconds > 0 {
+		rec.Throughput = float64(rec.OK) / rec.WallSeconds
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		rec.P50Millis = percentileMillis(latencies, 0.50)
+		rec.P99Millis = percentileMillis(latencies, 0.99)
+	}
+	return rec
+}
+
+// drainGet fetches one URL and drains the body, returning its size. A
+// non-200 status or a mid-body transport error counts as a failure.
+func drainGet(u string) (int64, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return n, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return n, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return n, nil
+}
+
+// servingShare fires width identical requests at a sharing-enabled
+// server per round and reads the coalescing counters: all but the
+// leaders should have replayed a broadcast instead of executing.
+func servingShare(cfg Config, ds *rdf.Dataset, rounds, width int) (ShareRecord, error) {
+	sys, err := sparqlopt.Open(ds,
+		sparqlopt.WithNodes(cfg.nodes()),
+		sparqlopt.WithParallelism(cfg.Parallelism),
+		sparqlopt.WithExecutionSharing())
+	if err != nil {
+		return ShareRecord{}, err
+	}
+	defer sys.Close()
+	srv := httptest.NewServer(httpd.New(sys, httpd.Config{}))
+	defer srv.Close()
+
+	rec := ShareRecord{ConcurrentRequests: width, Rounds: rounds}
+	target := srv.URL + "/sparql?query=" + url.QueryEscape(shareQuery)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := drainGet(target); err == nil {
+					mu.Lock()
+					rec.OK++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	st := sys.ShareStats()
+	rec.Leads, rec.Follows, rec.Fallbacks, rec.Aborted = st.Leads, st.Follows, st.Fallbacks, st.Aborted
+	return rec, nil
+}

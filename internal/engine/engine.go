@@ -60,6 +60,11 @@ type CacheInfo struct {
 	// Shared reports that the run blocked on another goroutine's
 	// in-flight optimization of the same fingerprint (singleflight).
 	Shared bool
+	// SharedExec reports that the run did not execute its own plan at
+	// all: it subscribed to an identical in-flight query's execution
+	// and replayed that leader's result stream (see the root package's
+	// WithExecutionSharing).
+	SharedExec bool
 	// Epoch is the dataset epoch the served plan was derived under.
 	Epoch uint64
 }
@@ -95,6 +100,11 @@ type Result struct {
 	// a flat row arena. Rows and Metrics are bit-identical either way;
 	// only the representation — and its memory footprint — differs.
 	Factorized bool
+	// Returned counts the distinct result rows the call delivered.
+	// Equal to len(Rows) on a materializing Run; on a streamed call
+	// Rows stays nil and Returned is the stream's delivered row count
+	// (final once the stream ended).
+	Returned int64
 	// flatRows is the root operator's logical output size: the number
 	// of flat rows the final gather held before deduplication and
 	// projection. On a factorized run it is counted from the answer
@@ -105,8 +115,19 @@ type Result struct {
 // FlatRowCount returns the logical (pre-dedup, pre-projection) row
 // count of the root operator's distributed output. For a factorized
 // run this is the flattened size the engine never materialized — the
-// gap between it and len(Rows) is the work factorization skipped.
+// gap between it and RowCount is the work factorization skipped.
 func (r *Result) FlatRowCount() int64 { return r.flatRows }
+
+// RowCount returns the number of distinct result rows the call
+// delivered, whether they were materialized (Rows) or streamed
+// (Returned). Logs and summaries report this — not len(Rows), which
+// is zero for a streamed result.
+func (r *Result) RowCount() int64 {
+	if r.Rows != nil {
+		return int64(len(r.Rows))
+	}
+	return r.Returned
+}
 
 // ShuffledRows returns the run's total cross-node row movement — the
 // per-query shuffle feed the adaptive advisor and the slow-query log
@@ -129,7 +150,7 @@ func (r *Result) EnumeratedJoins() int64 {
 // String summarizes the execution on one line.
 func (r *Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d rows", len(r.Rows))
+	fmt.Fprintf(&b, "%d rows", r.RowCount())
 	if r.Opt != nil {
 		fmt.Fprintf(&b, " [%s cost=%.4g]", r.Opt.Used, r.Opt.Plan.Cost)
 	}
@@ -147,6 +168,9 @@ func (r *Result) String() string {
 			state += "+shared"
 		}
 		fmt.Fprintf(&b, " cache=%s", state)
+	}
+	if r.CacheInfo.SharedExec {
+		b.WriteString(" exec=shared")
 	}
 	if len(r.Degraded) > 0 {
 		fmt.Fprintf(&b, " DEGRADED[%s]", strings.Join(r.Degraded, "; "))
@@ -432,88 +456,39 @@ func (e *Engine) Execute(ctx context.Context, p *plan.Node, q *sparql.Query) (*R
 // fault-injection set. A panic anywhere in the execution — the calling
 // goroutine, a per-node worker, a subtree task — is recovered into a
 // typed *resilience.PanicError failing this query only.
+//
+// It is the materializing form of ExecuteStream: drain the stream into
+// one arena (charged to the gauge as "flatten"), then sort — Rows is
+// the distinct projected result in lexicographic order, as it always
+// was.
 func (e *Engine) ExecuteEnv(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv) (res *Result, err error) {
 	defer resilience.CatchPanic(&err, e.inst.panicRecovered)
-	if env.Snap == nil {
-		// Capture the store view once: every operator of this run reads
-		// the same snapshot even if a migration or ingest commit swaps
-		// e.snap mid-query.
-		env.Snap = e.snap.Load()
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("engine: invalid plan: %w", err)
-	}
-	var execStart time.Time
-	if e.inst != nil {
-		execStart = time.Now()
-	}
-	if p.Factorize && p.Alg != plan.Scan {
-		// The cost model marked the root join result-heavy: run the
-		// factorizing path, which keeps the root intermediate as an
-		// answer graph and flattens only at projection. Deeper
-		// factorized annotations are ignored — a non-root operator's
-		// result has to be gathered or shuffled, and flattening it at
-		// the node boundary would pay exactly the cost factorization
-		// defers.
-		return e.executeFactorized(ctx, p, q, env, execStart)
-	}
-	var m Metrics
-	parts, trace, err := e.eval(ctx, p, q, env, &m)
+	st, err := e.ExecuteStream(ctx, p, q, env)
 	if err != nil {
 		return nil, err
 	}
-	// Gather the distributed result and deduplicate (set semantics;
-	// this also collapses replication-induced duplicates).
-	final := &Relation{Vars: parts[0].Vars}
-	var flat int64
-	for _, r := range parts {
-		final.Rows = append(final.Rows, r.Rows...)
-		flat += int64(len(r.Rows))
+	out := newRelation(st.res.Vars, 0)
+	for {
+		rows, err := st.NextChunk(ctx)
+		if err != nil {
+			st.Finish()
+			return nil, err
+		}
+		if rows == nil {
+			break
+		}
+		for _, row := range rows {
+			out.appendCopy(row)
+		}
+		if err := out.chargeTo(env.Gauge, "flatten"); err != nil {
+			st.Finish()
+			return nil, err
+		}
 	}
-	final.dedup()
-	out, err := projectResult(final, q)
-	if err != nil {
-		return nil, err
-	}
-	out.Metrics = m
-	out.Trace = trace
-	out.flatRows = flat
-	if e.inst != nil {
-		e.inst.recordExecute(time.Since(execStart), len(out.Rows), m)
-	}
-	return out, nil
-}
-
-// executeFactorized is the factorized twin of ExecuteEnv's body: the
-// children below the root evaluate exactly as the flat path would
-// (same operators, same shuffles, same metrics), but the root join
-// builds per-node answer graphs instead of flat arenas and the final
-// gather/dedup/projection enumerates only the column groups the
-// projection needs, deduplicating as it goes.
-func (e *Engine) executeFactorized(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv, execStart time.Time) (*Result, error) {
-	var m Metrics
-	parts, trace, err := e.evalFactorizedRoot(ctx, p, q, env, &m)
-	if err != nil {
-		return nil, err
-	}
-	out, flattened, err := e.projectFactorized(ctx, parts, q, env)
-	if err != nil {
-		return nil, err
-	}
-	trace.FlattenedRows = flattened
-	trace.DeferredFanout = trace.OutputRows - flattened
-	if trace.DeferredFanout < 0 {
-		trace.DeferredFanout = 0
-	}
-	out.Metrics = m
-	out.Trace = trace
-	out.Factorized = true
-	out.flatRows = trace.OutputRows
-	if e.inst != nil {
-		e.inst.recordExecute(time.Since(execStart), len(out.Rows), m)
-		e.inst.recordFactorized(trace.OutputRows, flattened)
-	}
-	return out, nil
+	out.sortRows()
+	res = st.Result()
+	res.Rows = out.Rows
+	return res, nil
 }
 
 func projectResult(rel *Relation, q *sparql.Query) (*Result, error) {
@@ -1091,42 +1066,6 @@ func (e *Engine) evalFactorizedRoot(ctx context.Context, p *plan.Node, q *sparql
 		e.inst.recordOp(p.Alg, tr.Elapsed, tr.OutputRows)
 	}
 	return out, tr, nil
-}
-
-// projectFactorized gathers the per-node answer graphs and produces
-// the final distinct projected result without ever materializing the
-// flat join: every node's graph enumerates only the column groups the
-// projection touches, deduplicating into one shared output (which
-// also absorbs cross-node replication, like the flat path's gather-
-// then-dedup). The returned count is the number of candidate rows
-// actually enumerated.
-func (e *Engine) projectFactorized(ctx context.Context, parts []*FactorizedRelation, q *sparql.Query, env ExecEnv) (*Result, int64, error) {
-	vars := q.Select
-	if len(vars) == 0 {
-		vars = q.Vars()
-	}
-	schema := parts[0].Vars()
-	full := &Relation{Vars: schema}
-	for _, v := range vars {
-		if full.colIndex(v) < 0 {
-			return nil, 0, fmt.Errorf("engine: projected variable ?%s not bound by the query", v)
-		}
-	}
-	out := newRelation(append([]string{}, vars...), 0)
-	seen := make(map[uint64][]int32)
-	var flattened int64
-	for _, f := range parts {
-		n, err := f.projectDistinct(ctx, vars, out, seen)
-		flattened += n
-		if err != nil {
-			return nil, 0, err
-		}
-	}
-	if err := out.chargeTo(env.Gauge, "flatten"); err != nil {
-		return nil, 0, err
-	}
-	out.sortRows()
-	return &Result{Vars: out.Vars, Rows: out.Rows}, flattened, nil
 }
 
 // scatter hashes one input's rows to their destination nodes. A first

@@ -375,85 +375,33 @@ func (f *FactorizedRelation) colRef(v string) (group, col int) {
 // enumerated (the partial flatten's size); the deferred fanout is
 // flatCount minus that.
 func (f *FactorizedRelation) projectDistinct(ctx context.Context, vars []string, out *Relation, seen map[uint64][]int32) (int64, error) {
-	groups := make([]int, len(vars)) // -1 = spine, else satellite index
-	cols := make([]int, len(vars))
-	keptSet := map[int]bool{}
-	for i, v := range vars {
-		g, c := f.colRef(v)
-		if c < 0 {
-			// Unbound variables were rejected by the caller.
-			continue
-		}
-		groups[i], cols[i] = g, c
-		if g >= 0 {
-			keptSet[g] = true
-		}
-	}
-	kept := make([]int, 0, len(keptSet))
-	for si := range f.sats {
-		if keptSet[si] {
-			kept = append(kept, si)
-		}
-	}
-	scratch := make([]rdf.TermID, len(vars))
+	e := newFactEnum(f, vars)
 	idCols := seqCols(len(vars))
-	idx := make([]int64, len(kept))
 	var enumerated int64
 	ops := 0
-	emit := func() {
-		h := hashRow(scratch)
+	for {
+		row := e.next()
+		if row == nil {
+			return enumerated, nil
+		}
+		if ops++; ops&(cancelEvery-1) == 0 {
+			if err := obs.Canceled(ctx, "flatten"); err != nil {
+				return enumerated, err
+			}
+		}
+		enumerated++
+		h := hashRow(row)
+		dup := false
 		for _, i := range seen[h] {
-			if equalOn(scratch, idCols, out.Rows[i], idCols) {
-				return
-			}
-		}
-		seen[h] = append(seen[h], int32(len(out.Rows)))
-		out.appendCopy(scratch)
-	}
-	for i, row := range f.spine.Rows {
-		for vi, g := range groups {
-			if g == -1 {
-				scratch[vi] = row[cols[vi]]
-			}
-		}
-		for k := range idx {
-			idx[k] = 0
-		}
-		for {
-			if ops++; ops&(cancelEvery-1) == 0 {
-				if err := obs.Canceled(ctx, "flatten"); err != nil {
-					return enumerated, err
-				}
-			}
-			for vi, g := range groups {
-				if g >= 0 {
-					s := f.sats[g]
-					ki := 0
-					for k, si := range kept {
-						if si == g {
-							ki = k
-							break
-						}
-					}
-					srow := s.rel.Rows[s.sel[int64(s.offs[i])+idx[ki]]]
-					scratch[vi] = srow[s.cols[cols[vi]]]
-				}
-			}
-			enumerated++
-			emit()
-			k := len(kept) - 1
-			for k >= 0 {
-				idx[k]++
-				if idx[k] < f.sats[kept[k]].count(i) {
-					break
-				}
-				idx[k] = 0
-				k--
-			}
-			if k < 0 {
+			if equalOn(row, idCols, out.Rows[i], idCols) {
+				dup = true
 				break
 			}
 		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], int32(len(out.Rows)))
+		out.appendCopy(row)
 	}
-	return enumerated, nil
 }

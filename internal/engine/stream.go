@@ -1,0 +1,464 @@
+// Chunked result emission. ExecuteStream is the streaming twin of
+// ExecuteEnv: the plan below the root evaluates exactly as before (same
+// operators, same shuffles, same metrics), but the final
+// gather/dedup/projection is demand-driven — the root's distributed
+// output (flat per-node arenas or factorized answer graphs) is
+// enumerated into fixed-size row chunks as the consumer pulls, instead
+// of materializing one projected output arena. A factorized root
+// flattens lazily, chunk by chunk, never holding more than one chunk
+// of flat rows.
+//
+// Distinctness across chunks cannot verify candidates against rows
+// that were already emitted and released, so the streaming dedup keeps
+// a 128-bit hash per distinct row (two independent 64-bit hashes)
+// instead of the materializing path's hash-plus-row-compare. With
+// 2^-128-scale pairwise collision probability the chance of ever
+// dropping a genuinely distinct row is negligible (~10^-27 for a
+// million-row result); the corpus tests compare against the exact
+// reference executor. The seen-set is charged to the query's memory
+// gauge — it is O(distinct rows) at ~1/3 the bytes of the output
+// arena it replaces, and it disappears entirely on the dedup-free
+// fast path (see dedupFree).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sparqlopt/internal/obs"
+	"sparqlopt/internal/plan"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/resilience"
+	"sparqlopt/internal/sparql"
+)
+
+// streamChunkRows is how many rows one chunk holds. Large enough to
+// amortize per-chunk overhead (gauge math, HTTP flushes), small enough
+// that a streamed query's resident output is a few tens of KB.
+const streamChunkRows = 1024
+
+// dedupEntryBytes is the reservation per streaming seen-set entry: the
+// 16-byte key plus amortized map bucket overhead.
+const dedupEntryBytes = 40
+
+// dedupChargeStep batches seen-set gauge reservations so the hot loop
+// does not hit the shared budget atomics on every insert.
+const dedupChargeStep = 64 * 1024
+
+// rowEnum yields candidate result rows one at a time. The returned
+// slice is a scratch buffer valid only until the next call; nil marks
+// the end. Enumeration is pure — cancellation polling and
+// deduplication belong to the Stream driving it.
+type rowEnum interface {
+	next() []rdf.TermID
+}
+
+// flatEnum enumerates the projection of per-node flat relations, in
+// node order then row order — the deterministic gather order of the
+// materializing path.
+type flatEnum struct {
+	parts   []*Relation
+	cols    []int
+	scratch []rdf.TermID
+	pi, ri  int
+}
+
+func (e *flatEnum) next() []rdf.TermID {
+	for e.pi < len(e.parts) {
+		rows := e.parts[e.pi].Rows
+		if e.ri >= len(rows) {
+			e.pi++
+			e.ri = 0
+			continue
+		}
+		row := rows[e.ri]
+		e.ri++
+		for i, c := range e.cols {
+			e.scratch[i] = row[c]
+		}
+		return e.scratch
+	}
+	return nil
+}
+
+// multiEnum chains per-node enumerators in node order.
+type multiEnum struct {
+	enums []rowEnum
+	i     int
+}
+
+func (e *multiEnum) next() []rdf.TermID {
+	for e.i < len(e.enums) {
+		if row := e.enums[e.i].next(); row != nil {
+			return row
+		}
+		e.i++
+	}
+	return nil
+}
+
+// factEnum is the explicit-state form of projectDistinct's nested
+// enumeration loop over one answer graph: a cursor over spine rows
+// plus an odometer over the kept satellites' match lists. Making the
+// state explicit is what lets the flatten be demand-driven — the
+// stream pulls one candidate at a time instead of the graph pushing
+// every candidate through a callback.
+type factEnum struct {
+	f       *FactorizedRelation
+	groups  []int // per projected var: -1 = spine, else satellite index
+	cols    []int // column within the group's exposed columns
+	ki      []int // per projected var with a satellite group: odometer position of that group
+	kept    []int // satellite indices the projection enumerates
+	idx     []int64
+	scratch []rdf.TermID
+	i       int
+	live    bool // the odometer holds a valid position for spine row i
+}
+
+// newFactEnum mirrors projectDistinct's prologue: resolve each
+// projected variable to its group, and keep only the satellites that
+// contribute a projected column — ignored groups affect multiplicity
+// alone, which DISTINCT erases. Unbound variables must have been
+// rejected by the caller.
+func newFactEnum(f *FactorizedRelation, vars []string) *factEnum {
+	e := &factEnum{
+		f:       f,
+		groups:  make([]int, len(vars)),
+		cols:    make([]int, len(vars)),
+		ki:      make([]int, len(vars)),
+		scratch: make([]rdf.TermID, len(vars)),
+	}
+	keptSet := map[int]bool{}
+	for i, v := range vars {
+		g, c := f.colRef(v)
+		if c < 0 {
+			continue
+		}
+		e.groups[i], e.cols[i] = g, c
+		if g >= 0 {
+			keptSet[g] = true
+		}
+	}
+	for si := range f.sats {
+		if keptSet[si] {
+			e.kept = append(e.kept, si)
+		}
+	}
+	e.idx = make([]int64, len(e.kept))
+	for vi, g := range e.groups {
+		if g >= 0 {
+			for k, si := range e.kept {
+				if si == g {
+					e.ki[vi] = k
+					break
+				}
+			}
+		}
+	}
+	return e
+}
+
+func (e *factEnum) next() []rdf.TermID {
+	for e.i < len(e.f.spine.Rows) {
+		if !e.live {
+			row := e.f.spine.Rows[e.i]
+			for vi, g := range e.groups {
+				if g == -1 {
+					e.scratch[vi] = row[e.cols[vi]]
+				}
+			}
+			for k := range e.idx {
+				e.idx[k] = 0
+			}
+			e.live = true
+		} else {
+			// Advance the odometer; overflow moves to the next spine row.
+			k := len(e.kept) - 1
+			for k >= 0 {
+				e.idx[k]++
+				if e.idx[k] < e.f.sats[e.kept[k]].count(e.i) {
+					break
+				}
+				e.idx[k] = 0
+				k--
+			}
+			if k < 0 {
+				e.live = false
+				e.i++
+				continue
+			}
+		}
+		for vi, g := range e.groups {
+			if g >= 0 {
+				s := e.f.sats[g]
+				srow := s.rel.Rows[s.sel[int64(s.offs[e.i])+e.idx[e.ki[vi]]]]
+				e.scratch[vi] = srow[s.cols[e.cols[vi]]]
+			}
+		}
+		return e.scratch
+	}
+	return nil
+}
+
+// hash128 is the streaming dedup key: hashRow's FNV-1a/splitmix64 pair
+// plus a second independent hash (different basis and multiplier, a
+// murmur-style finalizer), so a collision requires both 64-bit hashes
+// to collide on the same pair of distinct rows.
+func hash128(row []rdf.TermID) [2]uint64 {
+	h2 := uint64(0x9e3779b97f4a7c15)
+	for _, v := range row {
+		h2 = (h2 ^ uint64(v)) * 0xff51afd7ed558ccd
+	}
+	h2 ^= h2 >> 33
+	h2 *= 0xc4ceb9fe1a85ec53
+	h2 ^= h2 >> 33
+	return [2]uint64{hashRow(row), h2}
+}
+
+// dedupFree reports whether the root's gathered output is provably
+// duplicate-free, letting the stream skip the seen-set entirely. Two
+// duplicate sources exist: projection (dropping a column can identify
+// previously distinct rows) and cross-node replication (partitioning
+// methods place copies of a triple on several nodes). Projection-
+// induced duplicates are impossible when the projected variables cover
+// the full root schema (any permutation — the map stays injective).
+// Replication-induced duplicates are impossible on a single node, and
+// for a repartition-join root: every input row on node i was routed
+// (by scatter or aligned scan) because its join-key hash lands on i,
+// so the per-node outputs are pairwise disjoint; and each node's
+// output is a set because natural joins of sets are sets (scans are
+// sets — base, overlay and delta are pairwise disjoint and internally
+// deduplicated — and scatter dedups each bucket).
+func dedupFree(p *plan.Node, nodes int, vars, schema []string) bool {
+	if nodes > 1 && p.Alg != plan.RepartitionJoin {
+		return false
+	}
+	for _, v := range schema {
+		found := false
+		for _, pv := range vars {
+			if pv == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Stream is one execution's chunked row emission. It is single-
+// consumer: NextChunk returns batches of distinct projected rows in
+// the engine's deterministic emission order (node order, then
+// enumeration order — NOT the sorted order ExecuteEnv returns), and
+// the returned rows are valid only until the next NextChunk call (the
+// chunk arena is recycled). Result returns the execution's statistics;
+// they are complete once NextChunk has returned nil.
+type Stream struct {
+	eng *Engine
+	env ExecEnv
+	res *Result
+	src rowEnum
+
+	seen        map[[2]uint64]struct{} // nil on the dedup-free fast path
+	seenCharged int64
+	chunk       *Relation
+	ops         int
+
+	execStart time.Time
+	trace     *TraceNode
+	// enumerated counts candidate rows pulled from the source — for a
+	// factorized root this is the partial flatten's size, surfaced as
+	// TraceNode.FlattenedRows.
+	enumerated int64
+	done       bool
+	finished   bool
+}
+
+// ExecuteStream runs the plan for q and returns a Stream over the
+// distinct projected results. All join work — child evaluation, data
+// movement, the root join itself — happens before ExecuteStream
+// returns; only the final gather/dedup/projection (and, for a
+// factorized root, the flatten) is deferred to NextChunk. Metrics,
+// trace and flat-row counts are identical to ExecuteEnv's; only
+// FlattenedRows accrues as the stream drains.
+func (e *Engine) ExecuteStream(ctx context.Context, p *plan.Node, q *sparql.Query, env ExecEnv) (st *Stream, err error) {
+	defer resilience.CatchPanic(&err, e.inst.panicRecovered)
+	if env.Snap == nil {
+		// Capture the store view once: every operator of this run reads
+		// the same snapshot even if a migration or ingest commit swaps
+		// e.snap mid-query.
+		env.Snap = e.snap.Load()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: invalid plan: %w", err)
+	}
+	var execStart time.Time
+	if e.inst != nil {
+		execStart = time.Now()
+	}
+	vars := q.Select
+	if len(vars) == 0 {
+		vars = q.Vars()
+	}
+	vars = append([]string{}, vars...)
+	st = &Stream{eng: e, env: env, execStart: execStart}
+	var m Metrics
+	var schema []string
+	if p.Factorize && p.Alg != plan.Scan {
+		// The cost model marked the root join result-heavy: build the
+		// per-node answer graphs and flatten them lazily per chunk.
+		parts, trace, err := e.evalFactorizedRoot(ctx, p, q, env, &m)
+		if err != nil {
+			return nil, err
+		}
+		schema = parts[0].Vars()
+		if err := validateVars(vars, schema); err != nil {
+			return nil, err
+		}
+		enums := make([]rowEnum, len(parts))
+		for i, f := range parts {
+			enums[i] = newFactEnum(f, vars)
+		}
+		st.src = &multiEnum{enums: enums}
+		st.trace = trace
+		st.res = &Result{Vars: vars, Metrics: m, Trace: trace, Factorized: true, flatRows: trace.OutputRows}
+	} else {
+		parts, trace, err := e.eval(ctx, p, q, env, &m)
+		if err != nil {
+			return nil, err
+		}
+		schema = parts[0].Vars
+		if err := validateVars(vars, schema); err != nil {
+			return nil, err
+		}
+		var flat int64
+		for _, r := range parts {
+			flat += int64(len(r.Rows))
+		}
+		cols := make([]int, len(vars))
+		for i, v := range vars {
+			cols[i] = parts[0].colIndex(v)
+		}
+		st.src = &flatEnum{parts: parts, cols: cols, scratch: make([]rdf.TermID, len(vars))}
+		st.trace = trace
+		st.res = &Result{Vars: vars, Metrics: m, Trace: trace, flatRows: flat}
+	}
+	if !dedupFree(p, len(env.Snap.stores), vars, schema) {
+		st.seen = make(map[[2]uint64]struct{})
+	}
+	st.chunk = newRelation(vars, streamChunkRows)
+	return st, nil
+}
+
+func validateVars(vars, schema []string) error {
+	for _, v := range vars {
+		found := false
+		for _, sv := range schema {
+			if sv == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("engine: projected variable ?%s not bound by the query", v)
+		}
+	}
+	return nil
+}
+
+// Vars names the stream's output columns.
+func (s *Stream) Vars() []string { return s.res.Vars }
+
+// NextChunk returns the next batch of distinct result rows, or nil at
+// the end of the stream. The rows (and their backing arena) are valid
+// only until the following NextChunk call — consumers that retain rows
+// must copy them. An error (cancellation, budget trip, recovered
+// panic) ends the stream.
+func (s *Stream) NextChunk(ctx context.Context) (rows [][]rdf.TermID, err error) {
+	defer resilience.CatchPanic(&err, s.eng.inst.panicRecovered)
+	if s.done {
+		return nil, nil
+	}
+	// One upfront check per chunk keeps small streams responsive to
+	// cancellation (a disconnected consumer stops within one call); the
+	// in-loop poll below bounds the latency within huge flattens.
+	if err := obs.Canceled(ctx, "flatten"); err != nil {
+		return nil, err
+	}
+	s.chunk.Rows = s.chunk.Rows[:0]
+	s.chunk.arena = s.chunk.arena[:0]
+	for len(s.chunk.Rows) < streamChunkRows {
+		row := s.src.next()
+		if row == nil {
+			s.done = true
+			break
+		}
+		s.enumerated++
+		if s.ops++; s.ops&(cancelEvery-1) == 0 {
+			if err := obs.Canceled(ctx, "flatten"); err != nil {
+				return nil, err
+			}
+		}
+		if s.seen != nil {
+			k := hash128(row)
+			if _, dup := s.seen[k]; dup {
+				continue
+			}
+			s.seen[k] = struct{}{}
+			if need := int64(len(s.seen)) * dedupEntryBytes; need-s.seenCharged >= dedupChargeStep {
+				if err := s.env.Gauge.Reserve("dedup", need-s.seenCharged); err != nil {
+					return nil, err
+				}
+				s.seenCharged = need
+			}
+		}
+		s.chunk.appendCopy(row)
+	}
+	// The chunk arena is recycled across calls, so this charges only on
+	// first fill (and the rare later growth): the stream's resident
+	// output is one chunk, not the whole result.
+	if err := s.chunk.chargeTo(s.env.Gauge, "stream"); err != nil {
+		return nil, err
+	}
+	s.res.Returned += int64(len(s.chunk.Rows))
+	if s.done {
+		s.Finish()
+	}
+	if len(s.chunk.Rows) == 0 {
+		return nil, nil
+	}
+	return s.chunk.Rows, nil
+}
+
+// Finish finalizes the execution's statistics — the factorized trace's
+// flatten counters and the engine instruments. It runs automatically
+// when the source drains; callers abandoning a stream early call it to
+// record what did happen. Idempotent.
+func (s *Stream) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	if s.res.Factorized && s.trace != nil {
+		s.trace.FlattenedRows = s.enumerated
+		s.trace.DeferredFanout = s.trace.OutputRows - s.enumerated
+		if s.trace.DeferredFanout < 0 {
+			s.trace.DeferredFanout = 0
+		}
+	}
+	if s.eng.inst != nil {
+		s.eng.inst.recordExecute(time.Since(s.execStart), int(s.res.Returned), s.res.Metrics)
+		if s.res.Factorized {
+			s.eng.inst.recordFactorized(s.res.flatRows, s.enumerated)
+		}
+	}
+}
+
+// Result returns the execution's statistics result (Rows is nil — the
+// rows went through NextChunk; Returned counts them). Metrics, trace
+// and plan information are valid as soon as ExecuteStream returns;
+// flatten counters and instruments are final once the stream ended.
+func (s *Stream) Result() *Result { return s.res }

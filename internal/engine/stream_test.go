@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sparqlopt/internal/opt"
+	"sparqlopt/internal/partition"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/sparql"
+)
+
+// drainStream collects every chunk of a stream, copying rows out of
+// the recycled chunk buffer, and finishes the stream.
+func drainStream(t *testing.T, st *Stream) [][]rdf.TermID {
+	t.Helper()
+	var rows [][]rdf.TermID
+	for {
+		chunk, err := st.NextChunk(context.Background())
+		if err != nil {
+			t.Fatalf("NextChunk: %v", err)
+		}
+		if chunk == nil {
+			return rows
+		}
+		for _, row := range chunk {
+			rows = append(rows, append([]rdf.TermID{}, row...))
+		}
+	}
+}
+
+// TestStreamMatchesExecute: the chunked stream must yield exactly the
+// rows the materializing path returns — same set, since the stream
+// yields arrival order and Execute sorts.
+func TestStreamMatchesExecute(t *testing.T) {
+	ds := socialDataset()
+	m := partition.HashSO{}
+	placement, err := m.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ds.Dict, placement)
+	queries := append(testQueries,
+		// Narrow projections force the stream's dedup path.
+		`SELECT ?o WHERE { ?p <worksFor> ?o . }`,
+		`SELECT ?c WHERE { ?p <worksFor> ?o . ?o <inCity> ?c . }`,
+	)
+	for _, src := range queries {
+		q := sparql.MustParse(src)
+		res := optimizeFor(t, ds, q, m, opt.TDAuto)
+		want, err := e.Execute(context.Background(), res.Plan, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.ExecuteStream(context.Background(), res.Plan, q, ExecEnv{})
+		if err != nil {
+			t.Fatalf("%s: ExecuteStream: %v", src, err)
+		}
+		rows := drainStream(t, st)
+		st.Finish()
+		got := &Result{Vars: st.Vars(), Rows: rows}
+		sortRowsFor(got)
+		equalResults(t, got, want, src)
+		if sr := st.Result(); sr.Returned != int64(len(want.Rows)) {
+			t.Fatalf("%s: Returned = %d, want %d", src, sr.Returned, len(want.Rows))
+		}
+	}
+}
+
+// TestStreamMultiChunk: a result bigger than one chunk arrives across
+// several chunks, distinct and complete.
+func TestStreamMultiChunk(t *testing.T) {
+	ds := rdf.NewDataset()
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			ds.Add(fmt.Sprintf("a%d", i), "n", fmt.Sprintf("b%d", j))
+		}
+	}
+	m := partition.HashSO{}
+	placement, err := m.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ds.Dict, placement)
+	q := sparql.MustParse(`SELECT * WHERE { ?a <n> ?b . }`)
+	res := optimizeFor(t, ds, q, m, opt.TDAuto)
+	st, err := e.ExecuteStream(context.Background(), res.Plan, q, ExecEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chunks, total int
+	for {
+		chunk, err := st.NextChunk(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk == nil {
+			break
+		}
+		if len(chunk) > streamChunkRows {
+			t.Fatalf("chunk of %d rows exceeds %d", len(chunk), streamChunkRows)
+		}
+		chunks++
+		total += len(chunk)
+	}
+	st.Finish()
+	if total != 3600 {
+		t.Fatalf("streamed %d rows, want 3600", total)
+	}
+	if chunks < 3600/streamChunkRows {
+		t.Fatalf("only %d chunks for %d rows", chunks, total)
+	}
+}
+
+// TestStreamDedup: a projection that collapses rows must stream each
+// distinct row once, like the materializing path.
+func TestStreamDedup(t *testing.T) {
+	ds := socialDataset()
+	m := partition.HashSO{}
+	placement, err := m.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ds.Dict, placement)
+	q := sparql.MustParse(`SELECT ?o WHERE { ?p <worksFor> ?o . }`)
+	res := optimizeFor(t, ds, q, m, opt.TDAuto)
+	st, err := e.ExecuteStream(context.Background(), res.Plan, q, ExecEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStream(t, st)
+	st.Finish()
+	if len(rows) != 2 { // acme, globex — five bindings collapse to two
+		t.Fatalf("streamed %d rows, want 2 distinct orgs", len(rows))
+	}
+	seen := map[rdf.TermID]bool{}
+	for _, row := range rows {
+		if seen[row[0]] {
+			t.Fatalf("duplicate row %v in stream", row)
+		}
+		seen[row[0]] = true
+	}
+}
+
+// TestStreamCancel: a canceled context fails NextChunk with a phase-
+// annotated error.
+func TestStreamCancel(t *testing.T) {
+	ds := socialDataset()
+	m := partition.HashSO{}
+	placement, err := m.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ds.Dict, placement)
+	q := sparql.MustParse(`SELECT * WHERE { ?p <worksFor> ?o . }`)
+	res := optimizeFor(t, ds, q, m, opt.TDAuto)
+	st, err := e.ExecuteStream(context.Background(), res.Plan, q, ExecEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.NextChunk(ctx); err == nil {
+		t.Fatal("NextChunk on a canceled context must fail")
+	}
+	st.Finish()
+}
+
+// TestStreamFinishIdempotent: Finish may be called repeatedly (drain
+// path plus deferred cleanup) without double-counting metrics.
+func TestStreamFinishIdempotent(t *testing.T) {
+	ds := socialDataset()
+	m := partition.HashSO{}
+	placement, err := m.Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ds.Dict, placement)
+	q := sparql.MustParse(`SELECT * WHERE { ?p <worksFor> ?o . }`)
+	res := optimizeFor(t, ds, q, m, opt.TDAuto)
+	st, err := e.ExecuteStream(context.Background(), res.Plan, q, ExecEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStream(t, st)
+	st.Finish()
+	st.Finish()
+	r := st.Result()
+	if r.Returned != int64(len(rows)) {
+		t.Fatalf("Returned = %d, want %d", r.Returned, len(rows))
+	}
+}
+
+// TestHash128Independence: the two words of the dedup hash must not be
+// derivable from each other — rows colliding in one word must split in
+// the other.
+func TestHash128Independence(t *testing.T) {
+	seen := map[[2]uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		h := hash128([]rdf.TermID{rdf.TermID(i), rdf.TermID(i * 7)})
+		if h[0] == h[1] {
+			t.Fatalf("words equal for row %d", i)
+		}
+		if seen[h] {
+			t.Fatalf("collision at row %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+// sortRowsFor orders a result's rows like the materializing path does.
+func sortRowsFor(r *Result) {
+	rel := &Relation{Vars: r.Vars, Rows: r.Rows}
+	rel.sortRows()
+	r.Rows = rel.Rows
+}

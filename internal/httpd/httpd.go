@@ -1,0 +1,440 @@
+// Package httpd serves a System over the SPARQL 1.1 protocol. It is
+// the network face of the streaming results API: responses are encoded
+// row by row straight off a RunStream cursor, so a response body can be
+// arbitrarily larger than the per-query memory budget — the resident
+// state is one engine chunk plus the encoder's buffer.
+//
+// Endpoints:
+//
+//	POST/GET /sparql   SPARQL 1.1 protocol query endpoint. Accepts the
+//	                   query as ?query= (GET), an urlencoded form
+//	                   (POST application/x-www-form-urlencoded) or a
+//	                   raw body (POST application/sparql-query), and
+//	                   negotiates application/sparql-results+json
+//	                   (default) or text/tab-separated-values.
+//	                   Optional parameters: limit, timeout (seconds),
+//	                   algorithm (td-auto, td-cmd, td-cmdp, hgr-td-cmd,
+//	                   greedy).
+//	GET /metrics       Prometheus text exposition (System.WriteMetrics).
+//	GET /healthz       liveness probe.
+//	GET /debug/slowlog with Config.Debug: the slow-query log, one line
+//	                   per entry, newest first.
+//	GET /debug/trace   with Config.Debug: runs ?query= to completion
+//	                   and returns its lifecycle trace tree.
+//
+// Failures map onto the protocol: malformed queries are 400 with the
+// parse offset, admission-control rejections are 503 with a Retry-After
+// hint, per-request deadlines are 504, memory-budget trips are 507. A
+// failure after the first result byte cannot change the status line
+// anymore; the handler aborts the connection instead of silently
+// truncating a well-formed body.
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sparqlopt"
+)
+
+// Config tunes a Server. The zero value serves with no default or
+// maximum timeout/limit, no debug endpoints, streaming responses.
+type Config struct {
+	// DefaultTimeout bounds requests that do not send ?timeout=; 0
+	// means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested ?timeout=; 0 means no cap.
+	MaxTimeout time.Duration
+	// DefaultLimit bounds requests that do not send ?limit=; 0 means
+	// unlimited.
+	DefaultLimit int64
+	// MaxLimit caps the client-requested ?limit=; 0 means no cap.
+	MaxLimit int64
+	// DefaultAlgorithm applies to requests that do not send
+	// ?algorithm=; nil means the System's default.
+	DefaultAlgorithm *sparqlopt.Algorithm
+	// Debug exposes /debug/slowlog and /debug/trace.
+	Debug bool
+	// Materialize serves queries through System.Run instead of
+	// RunStream — the A/B comparator for the serving benchmark; the
+	// whole result is resident while the response is written.
+	Materialize bool
+}
+
+// Server is the SPARQL-protocol handler for one System.
+type Server struct {
+	sys *sparqlopt.System
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds a Server around sys.
+func New(sys *sparqlopt.System, cfg Config) *Server {
+	s := &Server{sys: sys, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	if cfg.Debug {
+		s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
+		s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Content types of the protocol.
+const (
+	ctSPARQLQuery = "application/sparql-query"
+	ctForm        = "application/x-www-form-urlencoded"
+	ctJSON        = "application/sparql-results+json"
+	ctTSV         = "text/tab-separated-values"
+)
+
+// flushEvery is how many rows may buffer before the response is
+// flushed to the client mid-stream.
+const flushEvery = 512
+
+// request is one decoded protocol request.
+type request struct {
+	query string
+	opts  []sparqlopt.RunOption
+	enc   encoder
+}
+
+// handleSPARQL is the protocol query endpoint.
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if s.cfg.Materialize {
+		res, err := s.sys.Run(r.Context(), req.query, req.opts...)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		s.encodeMaterialized(w, req.enc, res)
+		return
+	}
+	rows, err := s.sys.RunStream(r.Context(), req.query, req.opts...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer rows.Close()
+	s.encodeStream(w, req.enc, rows)
+}
+
+// decodeRequest extracts the query text, per-request options and the
+// negotiated encoder; on failure it has already written the response.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (request, bool) {
+	var req request
+	var params map[string][]string
+	switch r.Method {
+	case http.MethodGet:
+		params = r.URL.Query()
+		req.query = first(params, "query")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		switch strings.TrimSpace(strings.ToLower(ct)) {
+		case ctSPARQLQuery:
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+				return req, false
+			}
+			req.query = string(body)
+			params = r.URL.Query()
+		case ctForm, "":
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "malformed form body: "+err.Error(), http.StatusBadRequest)
+				return req, false
+			}
+			params = r.Form
+			req.query = first(params, "query")
+		default:
+			http.Error(w, fmt.Sprintf("unsupported content type %q (want %s or %s)", ct, ctSPARQLQuery, ctForm),
+				http.StatusUnsupportedMediaType)
+			return req, false
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return req, false
+	}
+	if strings.TrimSpace(req.query) == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return req, false
+	}
+
+	enc, ok := negotiate(r.Header.Get("Accept"))
+	if !ok {
+		http.Error(w, fmt.Sprintf("not acceptable: supported result formats are %s and %s", ctJSON, ctTSV),
+			http.StatusNotAcceptable)
+		return req, false
+	}
+	req.enc = enc
+
+	timeout := s.cfg.DefaultTimeout
+	if v := first(params, "timeout"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil || secs <= 0 {
+			http.Error(w, fmt.Sprintf("invalid timeout %q: want seconds > 0", v), http.StatusBadRequest)
+			return req, false
+		}
+		timeout = time.Duration(secs * float64(time.Second))
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		req.opts = append(req.opts, sparqlopt.WithDeadline(timeout))
+	}
+
+	limit := s.cfg.DefaultLimit
+	if v := first(params, "limit"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("invalid limit %q: want a positive integer", v), http.StatusBadRequest)
+			return req, false
+		}
+		limit = n
+	}
+	if s.cfg.MaxLimit > 0 && (limit <= 0 || limit > s.cfg.MaxLimit) {
+		limit = s.cfg.MaxLimit
+	}
+	if limit > 0 {
+		req.opts = append(req.opts, sparqlopt.WithLimit(limit))
+	}
+
+	if v := first(params, "algorithm"); v != "" {
+		algo, ok := sparqlopt.AlgorithmByName(v)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown algorithm %q", v), http.StatusBadRequest)
+			return req, false
+		}
+		req.opts = append(req.opts, sparqlopt.WithAlgorithm(algo))
+	} else if s.cfg.DefaultAlgorithm != nil {
+		req.opts = append(req.opts, sparqlopt.WithAlgorithm(*s.cfg.DefaultAlgorithm))
+	}
+	return req, true
+}
+
+func first(params map[string][]string, key string) string {
+	if vs := params[key]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// negotiate picks the result encoder for an Accept header. Empty,
+// */* and application/* mean JSON, the protocol default.
+func negotiate(accept string) (encoder, bool) {
+	if strings.TrimSpace(accept) == "" {
+		return jsonEncoder{}, true
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt := part
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = mt[:i]
+		}
+		switch strings.TrimSpace(strings.ToLower(mt)) {
+		case ctJSON, "application/json", "application/*", "*/*":
+			return jsonEncoder{}, true
+		case ctTSV, "text/*":
+			return tsvEncoder{}, true
+		}
+	}
+	return nil, false
+}
+
+// encodeStream writes the negotiated representation row by row off the
+// cursor. A failure after the first byte cannot change the status; the
+// handler aborts the connection so the client sees a truncated
+// transfer, not a silently short result.
+func (s *Server) encodeStream(w http.ResponseWriter, enc encoder, rows *sparqlopt.Rows) {
+	w.Header().Set("Content-Type", enc.contentType())
+	flusher, _ := w.(http.Flusher)
+	enc.header(w, rows.Vars())
+	n := 0
+	for rows.Next() {
+		enc.row(w, s.sys, rows.Vars(), rows.Row(), n)
+		if n++; n%flushEvery == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	enc.footer(w)
+}
+
+// encodeMaterialized writes an already-collected result in the same
+// representation (the Materialize comparator path).
+func (s *Server) encodeMaterialized(w http.ResponseWriter, enc encoder, res *sparqlopt.ExecResult) {
+	w.Header().Set("Content-Type", enc.contentType())
+	enc.header(w, res.Vars)
+	for i, row := range res.Rows {
+		enc.row(w, s.sys, res.Vars, row, i)
+	}
+	enc.footer(w)
+}
+
+// writeError maps a serving failure onto the protocol, pre-stream.
+func writeError(w http.ResponseWriter, err error) {
+	var pe *sparqlopt.ParseError
+	var oe *sparqlopt.OverloadError
+	switch {
+	case errors.As(err, &pe):
+		http.Error(w, "malformed query: "+pe.Error(), http.StatusBadRequest)
+	case errors.As(err, &oe):
+		secs := int(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, sparqlopt.ErrBudgetExceeded):
+		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; nothing useful can be written.
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// encoder writes one result representation. Implementations stream:
+// header, then rows in arrival order, then footer.
+type encoder interface {
+	contentType() string
+	header(w io.Writer, vars []string)
+	row(w io.Writer, sys *sparqlopt.System, vars []string, row []sparqlopt.TermID, i int)
+	footer(w io.Writer)
+}
+
+// jsonEncoder emits application/sparql-results+json.
+type jsonEncoder struct{}
+
+func (jsonEncoder) contentType() string { return ctJSON }
+
+func (jsonEncoder) header(w io.Writer, vars []string) {
+	names, _ := json.Marshal(vars)
+	fmt.Fprintf(w, `{"head":{"vars":%s},"results":{"bindings":[`, names)
+}
+
+func (jsonEncoder) row(w io.Writer, sys *sparqlopt.System, vars []string, row []sparqlopt.TermID, i int) {
+	if i > 0 {
+		io.WriteString(w, ",")
+	}
+	io.WriteString(w, "{")
+	for j, id := range row {
+		if j > 0 {
+			io.WriteString(w, ",")
+		}
+		name, _ := json.Marshal(vars[j])
+		typ, value := classify(sys.Term(id))
+		val, _ := json.Marshal(value)
+		fmt.Fprintf(w, `%s:{"type":%q,"value":%s}`, name, typ, val)
+	}
+	io.WriteString(w, "}")
+}
+
+func (jsonEncoder) footer(w io.Writer) { io.WriteString(w, "]}}\n") }
+
+// classify splits a dictionary term into its SPARQL results type and
+// lexical value: quoted strings are literals, "_:"-prefixed terms are
+// blank nodes, everything else is an IRI.
+func classify(term string) (typ, value string) {
+	switch {
+	case len(term) >= 2 && term[0] == '"':
+		return "literal", strings.Trim(term, `"`)
+	case strings.HasPrefix(term, "_:"):
+		return "bnode", term[2:]
+	default:
+		return "uri", term
+	}
+}
+
+// tsvEncoder emits SPARQL 1.1 TSV: IRIs in angle brackets, literals
+// quoted, one row per line.
+type tsvEncoder struct{}
+
+func (tsvEncoder) contentType() string { return ctTSV }
+
+func (tsvEncoder) header(w io.Writer, vars []string) {
+	for i, v := range vars {
+		if i > 0 {
+			io.WriteString(w, "\t")
+		}
+		io.WriteString(w, "?"+v)
+	}
+	io.WriteString(w, "\n")
+}
+
+func (tsvEncoder) row(w io.Writer, sys *sparqlopt.System, vars []string, row []sparqlopt.TermID, i int) {
+	for j, id := range row {
+		if j > 0 {
+			io.WriteString(w, "\t")
+		}
+		term := sys.Term(id)
+		if typ, _ := classify(term); typ == "uri" {
+			fmt.Fprintf(w, "<%s>", term)
+		} else {
+			io.WriteString(w, term)
+		}
+	}
+	io.WriteString(w, "\n")
+}
+
+func (tsvEncoder) footer(io.Writer) {}
+
+// handleMetrics exposes the System's Prometheus registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.sys.WriteMetrics(w); err != nil {
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+	}
+}
+
+// handleSlowLog dumps the slow-query log, newest first.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, e := range s.sys.SlowQueries() {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// handleTrace runs ?query= to completion with a trace sink and returns
+// the lifecycle tree — the debug view of one serving call.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	query := r.URL.Query().Get("query")
+	if strings.TrimSpace(query) == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	var tr *sparqlopt.Trace
+	_, err := s.sys.Run(r.Context(), query, sparqlopt.WithTraceSink(func(t *sparqlopt.Trace) { tr = t }))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, tr.Format())
+}

@@ -28,6 +28,11 @@ type RunSettings struct {
 	// execution). A timeout here is degradable: the serving path falls
 	// down its ladder to a cheaper algorithm instead of failing.
 	OptTimeout time.Duration
+	// Limit, when positive, caps the number of result rows one call
+	// returns: the stream ends after Limit rows and enumeration stops.
+	// The cap applies to the engine's deterministic emission order,
+	// before Run's final sort.
+	Limit int64
 	// Faults, when non-nil, arms the call's deterministic fault
 	// injection (chaos tests only; nil in production).
 	Faults *faultinject.Set

@@ -1,0 +1,319 @@
+// Execution sharing: the result-broadcast layer the streaming serving
+// path builds on top of this package's plan singleflight. The plan
+// cache already guarantees one *optimization* per (fingerprint,
+// algorithm, epoch); a ShareTable extends the idea one level down and
+// guarantees one *execution* per identical in-flight read — N
+// concurrent clients asking the same query against the same snapshot
+// epoch get one engine run, whose chunk stream is broadcast to every
+// subscriber.
+//
+// The sharing key is stricter than the plan key: canonical
+// fingerprints collapse queries that differ only in constants (they
+// can share a plan template but obviously not results), so the table
+// is keyed by the caller-built identity string — rendered query text
+// plus algorithm, snapshot epoch and row limit (see the root package's
+// shareKey).
+//
+// Protocol. The first caller to Join a key becomes the leader: it
+// executes the query itself and, as it pulls chunks from its own
+// stream, Publishes a copy of each into the broadcast log, then
+// Finishes with its stats result (or error). Followers replay the log
+// by cursor — a follower that joins mid-stream first drains the
+// already-published chunks, then blocks for new ones — so every
+// follower sees the full result regardless of when it subscribed. The
+// log therefore retains all chunks while the entry is in flight; the
+// leader accounts that retention against its own memory gauge and
+// Aborts the broadcast when the charge trips, which downgrades the
+// followers (error, or re-execution if they consumed nothing yet)
+// without affecting the leader's own stream. Finish and Abort remove
+// the entry from the table, closing the join window.
+package plancache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"sparqlopt/internal/engine"
+	"sparqlopt/internal/obs"
+	"sparqlopt/internal/rdf"
+)
+
+// ShareCounters is a snapshot of a ShareTable's cumulative behavior.
+type ShareCounters struct {
+	// Leads counts executions that owned a broadcast entry.
+	Leads int64
+	// Follows counts calls served by replaying another in-flight
+	// execution's broadcast instead of running the engine.
+	Follows int64
+	// Fallbacks counts followers that lost their broadcast (leader
+	// failed or aborted) before consuming anything and re-executed on
+	// their own.
+	Fallbacks int64
+	// Aborted counts broadcasts the leader cut off because the chunk
+	// log's memory charge tripped its gauge.
+	Aborted int64
+}
+
+// ShareTable tracks in-flight shared executions by identity key. The
+// zero of *ShareTable (nil) disables sharing: Join always elects the
+// caller leader with a nil Broadcast, whose methods are no-ops.
+type ShareTable struct {
+	mu       sync.Mutex
+	inflight map[string]*Broadcast
+
+	leads, follows     atomic.Int64
+	fallbacks, aborted atomic.Int64
+}
+
+// NewShareTable returns an empty table.
+func NewShareTable() *ShareTable {
+	return &ShareTable{inflight: make(map[string]*Broadcast)}
+}
+
+// Counters returns a snapshot of the cumulative counters (zero for a
+// nil table).
+func (t *ShareTable) Counters() ShareCounters {
+	if t == nil {
+		return ShareCounters{}
+	}
+	return ShareCounters{
+		Leads:     t.leads.Load(),
+		Follows:   t.follows.Load(),
+		Fallbacks: t.fallbacks.Load(),
+		Aborted:   t.aborted.Load(),
+	}
+}
+
+// Fallback records one follower re-executing after losing its
+// broadcast.
+func (t *ShareTable) Fallback() {
+	if t != nil {
+		t.fallbacks.Add(1)
+	}
+}
+
+// Join subscribes to key. The first caller per in-flight key becomes
+// the leader (leader == true): it must execute the query and drive the
+// returned Broadcast — every Publish feeds the followers, and exactly
+// one Finish or Abort must follow, which removes the entry. Later
+// callers while the entry is in flight get leader == false and replay
+// the same Broadcast. On a nil table every caller leads with a nil
+// Broadcast (sharing disabled).
+func (t *ShareTable) Join(key string) (b *Broadcast, leader bool) {
+	if t == nil {
+		return nil, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.inflight[key]; ok {
+		t.follows.Add(1)
+		return b, false
+	}
+	b = &Broadcast{t: t, key: key, updated: make(chan struct{})}
+	t.inflight[key] = b
+	t.leads.Add(1)
+	return b, true
+}
+
+// remove closes the join window for key (no-op when another broadcast
+// already replaced it).
+func (t *ShareTable) remove(key string, b *Broadcast) {
+	t.mu.Lock()
+	if t.inflight[key] == b {
+		delete(t.inflight, key)
+	}
+	t.mu.Unlock()
+}
+
+// Broadcast is the chunk log of one shared execution. The leader
+// appends; any number of followers read concurrently by cursor.
+// Published chunks are immutable once appended, so followers read them
+// without copying.
+type Broadcast struct {
+	t   *ShareTable
+	key string
+
+	mu sync.Mutex
+	// updated is closed and replaced whenever the state a waiter might
+	// be blocked on changes (vars set, chunk appended, finished).
+	updated chan struct{}
+	vars    []string
+	chunks  [][][]rdf.TermID
+	bytes   int64
+	done    bool
+	res     *engine.Result
+	err     error
+}
+
+// ErrShareAborted is the follower-visible failure of a broadcast the
+// leader cut off (memory charge tripped). Followers that consumed
+// nothing yet fall back to their own execution instead of surfacing
+// it.
+var errShareAborted = &shareAbortedError{}
+
+type shareAbortedError struct{}
+
+func (*shareAbortedError) Error() string {
+	return "plancache: shared execution aborted by leader"
+}
+
+func (b *Broadcast) signalLocked() {
+	close(b.updated)
+	b.updated = make(chan struct{})
+}
+
+// SetVars announces the execution's output columns — the first thing a
+// follower needs (its response header) before any chunk exists. The
+// leader calls it once, as soon as its stream is open.
+func (b *Broadcast) SetVars(vars []string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.vars = append([]string{}, vars...)
+	b.signalLocked()
+	b.mu.Unlock()
+}
+
+// Publish appends a copy of rows to the log and returns the bytes the
+// copy retains — the leader reserves that amount against its gauge
+// and Aborts on failure. Chunks arrive in stream order.
+func (b *Broadcast) Publish(rows [][]rdf.TermID) int64 {
+	if b == nil || len(rows) == 0 {
+		return 0
+	}
+	width := len(rows[0])
+	arena := make([]rdf.TermID, len(rows)*width)
+	chunk := make([][]rdf.TermID, len(rows))
+	for i, row := range rows {
+		dst := arena[i*width : (i+1)*width : (i+1)*width]
+		copy(dst, row)
+		chunk[i] = dst
+	}
+	n := int64(len(arena))*termIDBytes + int64(len(chunk))*rowHeaderBytes
+	b.mu.Lock()
+	b.chunks = append(b.chunks, chunk)
+	b.bytes += n
+	b.signalLocked()
+	b.mu.Unlock()
+	return n
+}
+
+// termIDBytes / rowHeaderBytes mirror the engine's accounting
+// constants: a TermID is 4 bytes, a row header (slice header) 24.
+const (
+	termIDBytes    = 4
+	rowHeaderBytes = 24
+)
+
+// Bytes returns the log's retained size so far.
+func (b *Broadcast) Bytes() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes
+}
+
+// Finish completes the broadcast: res is the leader's stats result
+// (Rows nil — followers count their own delivery), err its terminal
+// error, and the entry leaves the table. Exactly one Finish or Abort
+// per led broadcast.
+func (b *Broadcast) Finish(res *engine.Result, err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.done = true
+	b.res = res
+	b.err = err
+	b.signalLocked()
+	b.mu.Unlock()
+	b.t.remove(b.key, b)
+}
+
+// Abort is Finish for a broadcast the leader can no longer afford to
+// feed: followers see a typed failure (and fall back when they can).
+func (b *Broadcast) Abort() {
+	if b == nil {
+		return
+	}
+	b.t.aborted.Add(1)
+	b.Finish(nil, errShareAborted)
+}
+
+// Aborted reports whether err is a broadcast-abort failure — the one
+// follower error that licenses silent re-execution.
+func Aborted(err error) bool {
+	_, ok := err.(*shareAbortedError)
+	return ok
+}
+
+// Header blocks until the execution's output columns are known,
+// returning them — or the broadcast's error if it failed first.
+func (b *Broadcast) Header(ctx context.Context) ([]string, error) {
+	for {
+		b.mu.Lock()
+		if b.vars != nil {
+			vars := b.vars
+			b.mu.Unlock()
+			return vars, nil
+		}
+		if b.done {
+			err := b.err
+			b.mu.Unlock()
+			return nil, err
+		}
+		ch := b.updated
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, obs.Canceled(ctx, "share_wait")
+		}
+	}
+}
+
+// Next returns the log chunk at cursor i, blocking while the leader is
+// still producing. end reports a clean exhaustion (every published
+// chunk consumed and the broadcast finished); a finished-with-error
+// broadcast surfaces the leader's error once the cursor passes the
+// last published chunk.
+func (b *Broadcast) Next(ctx context.Context, i int) (chunk [][]rdf.TermID, end bool, err error) {
+	for {
+		b.mu.Lock()
+		if i < len(b.chunks) {
+			chunk = b.chunks[i]
+			b.mu.Unlock()
+			return chunk, false, nil
+		}
+		if b.done {
+			err = b.err
+			b.mu.Unlock()
+			return nil, err == nil, err
+		}
+		ch := b.updated
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, obs.Canceled(ctx, "share_wait")
+		}
+	}
+}
+
+// Result returns the leader's stats result after a clean finish (nil
+// before Finish or after a failure).
+func (b *Broadcast) Result() *engine.Result {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.done || b.err != nil {
+		return nil
+	}
+	return b.res
+}

@@ -1,0 +1,142 @@
+package plancache
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlopt/internal/engine"
+	"sparqlopt/internal/rdf"
+)
+
+// TestShareBroadcast drives the leader/follower protocol end to end:
+// a late-joining follower must replay every chunk, in order, including
+// the ones published before it subscribed.
+func TestShareBroadcast(t *testing.T) {
+	tbl := NewShareTable()
+	b, leader := tbl.Join("k")
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	if _, again := tbl.Join("k"); again {
+		t.Fatal("second join while in flight must follow")
+	}
+	b.SetVars([]string{"x"})
+	b.Publish([][]rdf.TermID{{1}, {2}})
+
+	ctx := context.Background()
+	vars, err := b.Header(ctx)
+	if err != nil || len(vars) != 1 || vars[0] != "x" {
+		t.Fatalf("Header = %v, %v", vars, err)
+	}
+
+	var got []rdf.TermID
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			chunk, end, err := b.Next(ctx, i)
+			if err != nil {
+				t.Errorf("Next: %v", err)
+				return
+			}
+			if end {
+				return
+			}
+			for _, row := range chunk {
+				got = append(got, row[0])
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish([][]rdf.TermID{{3}})
+	b.Finish(&engine.Result{Vars: []string{"x"}, Returned: 3}, nil)
+	wg.Wait()
+
+	want := []rdf.TermID{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+	if r := b.Result(); r == nil || r.Returned != 3 {
+		t.Fatalf("Result = %+v", r)
+	}
+	// Finish closed the join window: a new join leads again.
+	if _, lead := tbl.Join("k"); !lead {
+		t.Fatal("join after finish must lead")
+	}
+	c := tbl.Counters()
+	if c.Leads != 2 || c.Follows != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestShareAbort checks the downgrade path: an aborted broadcast
+// surfaces a typed error that Aborted recognizes, and Result stays
+// nil.
+func TestShareAbort(t *testing.T) {
+	tbl := NewShareTable()
+	b, _ := tbl.Join("k")
+	b.SetVars([]string{"x"})
+	b.Publish([][]rdf.TermID{{1}})
+	b.Abort()
+	_, end, err := b.Next(context.Background(), 1)
+	if end || err == nil || !Aborted(err) {
+		t.Fatalf("Next after abort = end=%v err=%v", end, err)
+	}
+	if b.Result() != nil {
+		t.Fatal("aborted broadcast must not expose a result")
+	}
+	if c := tbl.Counters(); c.Aborted != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestShareCancellation: a follower blocked on a stalled leader must
+// unblock on its own context, not the leader's.
+func TestShareCancellation(t *testing.T) {
+	tbl := NewShareTable()
+	b, _ := tbl.Join("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.Next(ctx, 0)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled Next must fail")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not unblock on cancellation")
+	}
+	b.Finish(nil, nil)
+}
+
+// TestShareNilTable: the nil table is the sharing-disabled value —
+// every caller leads and the nil broadcast's methods are no-ops.
+func TestShareNilTable(t *testing.T) {
+	var tbl *ShareTable
+	b, leader := tbl.Join("k")
+	if !leader || b != nil {
+		t.Fatalf("nil table Join = %v, %v", b, leader)
+	}
+	b.SetVars([]string{"x"})
+	if n := b.Publish([][]rdf.TermID{{1}}); n != 0 {
+		t.Fatalf("nil Publish reserved %d", n)
+	}
+	b.Finish(nil, nil)
+	b.Abort()
+	tbl.Fallback()
+	if c := tbl.Counters(); c != (ShareCounters{}) {
+		t.Fatalf("nil counters = %+v", c)
+	}
+}

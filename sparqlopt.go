@@ -95,6 +95,9 @@ type (
 	// AdvisorStats is a snapshot of the adaptive-repartitioning
 	// advisor's counters (see System.AdvisorStats).
 	AdvisorStats = adaptive.Stats
+	// ParseError is the typed failure of ParseQuery/Run on malformed
+	// query text; it carries the byte offset of the problem.
+	ParseError = sparql.ParseError
 	// PhaseError annotates a cancellation with the query phase it
 	// interrupted; errors.Is(err, context.Canceled/DeadlineExceeded)
 	// still works through it.
@@ -184,6 +187,47 @@ func PartitionMethod(name string) (Method, error) { return partition.ByName(name
 // 10-node cluster.
 func DefaultCostParams() CostParams { return cost.Default }
 
+// AlgorithmByName maps a serving algorithm's CLI name — "td-cmd",
+// "td-cmdp", "hgr-td-cmd", "td-auto", "greedy" — to its Algorithm
+// value. Both CLIs and the HTTP endpoint accept exactly these names.
+func AlgorithmByName(name string) (Algorithm, bool) {
+	switch name {
+	case "td-cmd":
+		return TDCMD, true
+	case "td-cmdp":
+		return TDCMDP, true
+	case "hgr-td-cmd":
+		return HGRTDCMD, true
+	case "td-auto":
+		return TDAuto, true
+	case "greedy":
+		return Greedy, true
+	}
+	return 0, false
+}
+
+// The package has three option families, one per configuration scope:
+//
+//   - Option configures a System for its lifetime and is passed to
+//     Open: data placement (WithMethod, WithNodes), execution shape
+//     (WithParallelism, WithFactorization, WithCostParams), serving
+//     infrastructure (WithPlanCache, WithExecutionSharing,
+//     WithAdmissionControl, WithMemoryBudget, WithAdaptivePartitioning,
+//     WithScopedInvalidation, WithSampledStats) and observability
+//     (WithObservability, WithWriteFaultInjection).
+//
+//   - RunOption configures one serving call and is passed to Run,
+//     RunStream, Optimize and friends: WithAlgorithm (or a bare
+//     Algorithm value — both CLIs accept the same names), WithLimit,
+//     WithDeadline, WithOptimizerTimeout, WithoutCache, WithTraceSink,
+//     WithFaultInjection.
+//
+//   - ObsOption configures the observability layer inside
+//     WithObservability: WithMetricsRegistry, WithSlowQueryLog.
+//
+// Every option family ignores nil and zero values where that reads as
+// "default", so call sites list only what they change.
+
 // WithAlgorithm selects the optimization algorithm for one call
 // (default TD-Auto). Passing a bare Algorithm value is equivalent.
 func WithAlgorithm(a Algorithm) RunOption {
@@ -227,6 +271,17 @@ func WithFaultInjection(f *FaultSet) RunOption {
 	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.Faults = f })
 }
 
+// WithLimit caps one call at the first n result rows (n <= 0 means
+// unlimited, the default). The cap applies to the engine's
+// deterministic emission order — the order RunStream yields — before
+// Run's final sort, so streaming and materializing calls agree on
+// which rows a limit keeps. Reaching the limit is a clean end of the
+// stream, not an error, and it is part of a call's identity for
+// execution sharing.
+func WithLimit(n int64) RunOption {
+	return opt.RunOptionFunc(func(s *opt.RunSettings) { s.Limit = n })
+}
+
 // System is a partitioned dataset ready to optimize and execute
 // queries — the in-process analogue of the paper's prototype cluster.
 type System struct {
@@ -237,9 +292,10 @@ type System struct {
 	parallelism int
 	placement   *partition.Placement
 	engine      *engine.Engine
-	cache       *plancache.Cache // nil = caching disabled
-	obs         *obsState        // nil = observability disabled
-	optInst     *opt.Instruments // nil when observability is disabled
+	cache       *plancache.Cache      // nil = caching disabled
+	share       *plancache.ShareTable // nil = execution sharing disabled
+	obs         *obsState             // nil = observability disabled
+	optInst     *opt.Instruments      // nil when observability is disabled
 
 	adm     *resilience.Admission   // nil = admission control disabled
 	budget  *resilience.Budget      // nil = memory budgets disabled
@@ -282,6 +338,7 @@ type openConfig struct {
 	maxQueued     int
 	memPerQuery   int64
 	memTotal      int64
+	execSharing   bool
 	obs           *obsConfig
 	adaptive      *AdaptiveConfig
 	scopedOff     bool
@@ -335,6 +392,21 @@ func WithFactorization(fanout float64) Option {
 // suboptimal for a query whose constants are much more or less
 // selective than those of the run that produced the template.
 func WithPlanCache(n int) Option { return func(c *openConfig) { c.planCache = n } }
+
+// WithExecutionSharing deduplicates identical in-flight reads: when N
+// concurrent calls ask the same query (same text, algorithm, snapshot
+// epoch and limit) while one of them is still streaming, exactly one
+// engine execution runs — the first call leads and broadcasts its
+// chunk stream; the others replay it. This extends the plan cache's
+// singleflight (one optimization per shape) one level down to one
+// execution per identical read, and it is what makes a thundering herd
+// of one hot query cost one execution instead of N. Calls that ask for
+// per-call isolation (WithoutCache, WithTraceSink, WithFaultInjection)
+// never share. The broadcast log is charged to the leader's memory
+// budget; a trip cuts the followers loose (they fall back to their own
+// execution if they consumed nothing yet). Counters are read back with
+// System.ShareStats. Off by default.
+func WithExecutionSharing() Option { return func(c *openConfig) { c.execSharing = true } }
 
 // WithAdmissionControl gates the serving path (Run/RunQuery): at most
 // maxConcurrent queries execute at once, up to maxQueued more wait
@@ -518,6 +590,9 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 	if cfg.maxConcurrent > 0 {
 		s.adm = resilience.NewAdmission(cfg.maxConcurrent, cfg.maxQueued)
 	}
+	if cfg.execSharing {
+		s.share = plancache.NewShareTable()
+	}
 	if cfg.adaptive != nil {
 		s.advisor = adaptive.New(adaptive.Config{
 			MinBytes:          cfg.adaptive.MinShuffledBytes,
@@ -553,6 +628,17 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		s.resInst = resilience.NewInstruments(r)
 		s.resInst.ObserveAdmission(s.adm)
 		s.resInst.ObserveBudget(s.budget)
+		if s.share != nil {
+			tbl := s.share
+			r.GaugeFunc("exec_share_leads_total", "Executions that led a shared-execution broadcast.",
+				func() float64 { return float64(tbl.Counters().Leads) })
+			r.GaugeFunc("exec_share_follows_total", "Calls served by replaying another in-flight execution.",
+				func() float64 { return float64(tbl.Counters().Follows) })
+			r.GaugeFunc("exec_share_fallbacks_total", "Followers that lost their leader and re-executed.",
+				func() float64 { return float64(tbl.Counters().Fallbacks) })
+			r.GaugeFunc("exec_share_aborted_total", "Broadcasts cut off by the leader's memory budget.",
+				func() float64 { return float64(tbl.Counters().Aborted) })
+		}
 		if s.advisor != nil {
 			adv := s.advisor
 			r.GaugeFunc("adaptive_migrations_total", "Migration rounds the adaptive advisor applied.",
@@ -733,18 +819,31 @@ func (s *System) Execute(ctx context.Context, p *Plan, q *Query) (*ExecResult, e
 	return s.engine.Execute(ctx, p, q)
 }
 
-// Run optimizes and executes in one step — the serving path. The
-// query text is parsed exactly once; the parsed form feeds
+// Run optimizes and executes in one step — the materializing serving
+// path. The query text is parsed exactly once; the parsed form feeds
 // canonicalization, optimization and execution. With WithPlanCache,
 // repeats of a query shape skip statistics collection and plan
 // enumeration entirely (ExecResult.CacheInfo reports what happened).
+// Run is RunStream plus collect-and-sort: it drains the same row
+// stream into ExecResult.Rows in lexicographic order, charging the
+// materialized result to the call's memory budget. Result sets too
+// big to hold belong on RunStream.
 func (s *System) Run(ctx context.Context, query string, opts ...RunOption) (*ExecResult, error) {
-	return s.serve(ctx, query, nil, opt.NewRunSettings(opts))
+	return s.runMaterialized(ctx, query, nil, opt.NewRunSettings(opts))
 }
 
 // RunQuery optimizes and executes an already-parsed query.
 func (s *System) RunQuery(ctx context.Context, q *Query, opts ...RunOption) (*ExecResult, error) {
-	return s.serve(ctx, "", q, opt.NewRunSettings(opts))
+	return s.runMaterialized(ctx, "", q, opt.NewRunSettings(opts))
+}
+
+// runMaterialized drains the streaming pipeline into a sorted result.
+func (s *System) runMaterialized(ctx context.Context, src string, q *Query, set opt.RunSettings) (*ExecResult, error) {
+	rows, err := s.stream(ctx, src, q, set)
+	if err != nil {
+		return nil, err
+	}
+	return rows.collect()
 }
 
 // withDeadline layers the per-call deadline onto ctx; the returned
@@ -771,126 +870,6 @@ func (s *System) admit(ctx context.Context) (func(), error) {
 	}
 	s.resInst.AdmissionAccepted()
 	return release, nil
-}
-
-// serve is the serving path behind Run and RunQuery. Exactly one of
-// src and q is set by the caller. When neither observability nor a
-// trace sink is active it falls through to the plain pipeline without
-// reading the clock.
-func (s *System) serve(ctx context.Context, src string, q *Query, set opt.RunSettings) (*ExecResult, error) {
-	ctx, cancel := withDeadline(ctx, set.Deadline)
-	defer cancel()
-	if s.obs == nil && set.TraceSink == nil {
-		release, err := s.admit(ctx)
-		if err != nil {
-			return nil, err
-		}
-		defer release()
-		if q == nil {
-			if q, err = sparql.Parse(src); err != nil {
-				return nil, err
-			}
-		}
-		return s.dispatch(ctx, q, set, nil)
-	}
-	return s.serveObserved(ctx, src, q, set)
-}
-
-// serveObserved wraps the pipeline with timing, metrics, the optional
-// trace and the slow-query log.
-func (s *System) serveObserved(ctx context.Context, src string, q *Query, set opt.RunSettings) (out *ExecResult, err error) {
-	start := time.Now()
-	var tr *obs.Trace
-	if set.TraceSink != nil || (s.obs != nil && s.obs.slowLog != nil) {
-		if src == "" && q != nil {
-			src = q.String()
-		}
-		tr = obs.NewTrace(src)
-		tr.Algorithm = set.Algorithm.String()
-	}
-	defer func() {
-		tr.Finish(err)
-		if s.obs != nil {
-			d := time.Since(start)
-			s.obs.queries.Inc()
-			if err != nil {
-				s.obs.queryErrors.Inc()
-			}
-			s.obs.querySeconds.ObserveDuration(d)
-			if s.obs.slowLog != nil {
-				e := obs.SlowQueryEntry{
-					Time:      time.Now(),
-					Query:     src,
-					Algorithm: set.Algorithm.String(),
-					Duration:  d,
-					Phases:    tr.Phases(),
-				}
-				if err != nil {
-					e.Err = err.Error()
-					e.Rejected = errors.Is(err, resilience.ErrOverloaded)
-				} else {
-					e.Rows = len(out.Rows)
-					e.FlatRows = out.FlatRowCount()
-					e.Factorized = out.Factorized
-					e.ShuffledRows = out.ShuffledRows()
-					e.ShuffledBytes = out.ShuffledBytes()
-					e.CacheHit = out.CacheInfo.Hit
-					e.Degraded = out.Degraded
-				}
-				s.obs.slowLog.Record(e)
-			}
-		}
-		if set.TraceSink != nil {
-			set.TraceSink(tr)
-		}
-	}()
-	release, err := s.admit(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	if q == nil {
-		sp := tr.Span("parse")
-		q, err = sparql.Parse(src)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		sp.SetAttrInt("patterns", int64(len(q.Patterns)))
-	}
-	return s.dispatch(ctx, q, set, tr)
-}
-
-// dispatch plans and executes one parsed query, degrading down the
-// fallback ladder when planning fails recoverably.
-func (s *System) dispatch(ctx context.Context, q *Query, set opt.RunSettings, tr *obs.Trace) (*ExecResult, error) {
-	g := s.budget.NewGauge()
-	defer g.Reset()
-	// Pin the serving snapshot once: one atomic load fixes the store
-	// view, the ingest delta, the dataset snapshot and its epoch for
-	// the whole query — statistics, cache lookup and execution all see
-	// the same committed state no matter how many writes land mid-run.
-	snap := s.engine.Snapshot()
-	res, info, degraded, err := s.planLadder(ctx, q, set, g, tr, snap)
-	if err != nil {
-		return nil, err
-	}
-	sp := tr.Span("execute")
-	out, err := s.engine.ExecuteEnv(ctx, res.Plan, q, engine.ExecEnv{Gauge: g, Faults: set.Faults, Snap: snap})
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	sp.SetAttrInt("rows", int64(len(out.Rows)))
-	out.Trace.AttachSpans(sp)
-	out.Opt = res
-	out.CacheInfo = info
-	out.Degraded = degraded
-	if len(degraded) > 0 {
-		s.resInst.QueryDegraded()
-	}
-	s.observeAdaptive(q, out)
-	return out, nil
 }
 
 // observeAdaptive feeds one completed run's observed repartition
@@ -1203,6 +1182,13 @@ func (s *System) CacheStats() CacheCounters {
 		return CacheCounters{}
 	}
 	return s.cache.Counters()
+}
+
+// ShareStats returns the execution-sharing layer's cumulative
+// counters; the zero snapshot when sharing is disabled (see
+// WithExecutionSharing).
+func (s *System) ShareStats() ShareCounters {
+	return s.share.Counters()
 }
 
 // Term resolves a result value back to its term string.

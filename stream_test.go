@@ -1,0 +1,441 @@
+package sparqlopt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlopt/internal/querygraph"
+	"sparqlopt/internal/workload/lubm"
+	"sparqlopt/internal/workload/watdiv"
+)
+
+// drainSorted collects a stream into copied rows and sorts them like
+// Run does, so the two paths can be compared bit for bit.
+func drainSorted(t *testing.T, rows *Rows) [][]TermID {
+	t.Helper()
+	var out [][]TermID
+	for rows.Next() {
+		out = append(out, append([]TermID{}, rows.Row()...))
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("stream failed: %v", err)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func equalRowSets(a, b [][]TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRunStreamMatchesRun is the redesign's bit-identity gate: for
+// every LUBM and bound-WatDiv benchmark query, at parallelism 1 and 4,
+// the sorted stream and the materialized result are identical.
+func TestRunStreamMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline sweep")
+	}
+	lds := lubm.Generate(lubm.Config{Universities: 2, Seed: 1, Compact: true})
+	wds := watdiv.GenerateData(watdiv.DataConfig{Scale: 200, Seed: 1})
+
+	type namedQuery struct {
+		name string
+		q    *Query
+	}
+	type workload struct {
+		label   string
+		ds      *Dataset
+		queries []namedQuery
+	}
+	var lqs []namedQuery
+	for _, name := range lubm.QueryNames {
+		lqs = append(lqs, namedQuery{name, lubm.Query(name)})
+	}
+	var wqs []namedQuery
+	for _, tpl := range watdiv.Templates(1) {
+		if tpl.Query == nil || len(tpl.Query.Patterns) < 2 {
+			continue
+		}
+		// Binding the walk's start variable can disconnect the join
+		// graph; those templates are unplannable without Cartesian
+		// products (same filter the engine benchmark applies).
+		q := tpl.Bind(wds, 1)
+		if jg, err := querygraph.NewJoinGraph(q); err != nil || !jg.Connected(jg.All()) {
+			continue
+		}
+		wqs = append(wqs, namedQuery{fmt.Sprintf("W%d", tpl.ID), q})
+		if len(wqs) == 5 {
+			break
+		}
+	}
+	for _, wl := range []workload{{"lubm", lds, lqs}, {"watdiv", wds, wqs}} {
+		for _, par := range []int{1, 4} {
+			sys, err := Open(wl.ds, WithNodes(4), WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, nq := range wl.queries {
+				want, err := sys.RunQuery(context.Background(), nq.q)
+				if err != nil {
+					t.Fatalf("%s/%s P=%d: Run: %v", wl.label, nq.name, par, err)
+				}
+				rows, err := sys.RunStreamQuery(context.Background(), nq.q)
+				if err != nil {
+					t.Fatalf("%s/%s P=%d: RunStream: %v", wl.label, nq.name, par, err)
+				}
+				got := drainSorted(t, rows)
+				if !equalRowSets(got, want.Rows) {
+					t.Errorf("%s/%s P=%d: stream and Run disagree (%d vs %d rows)",
+						wl.label, nq.name, par, len(got), len(want.Rows))
+				}
+				if res := rows.Result(); res == nil || res.Returned != int64(len(want.Rows)) {
+					t.Errorf("%s/%s P=%d: stream Result.Returned = %v, want %d",
+						wl.label, nq.name, par, res, len(want.Rows))
+				}
+			}
+			sys.Close()
+		}
+	}
+}
+
+// TestRunStreamMatchesRunFactorized repeats the bit-identity check
+// with an aggressive factorization gate, so the stream's lazy
+// flattening of answer-graph roots is on the line.
+func TestRunStreamMatchesRunFactorized(t *testing.T) {
+	ds := lubm.Generate(lubm.Config{Universities: 1, Seed: 1, Compact: true})
+	sys, err := Open(ds, WithNodes(4), WithFactorization(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var sawFactorized bool
+	for _, name := range lubm.QueryNames {
+		q := lubm.Query(name)
+		want, err := sys.RunQuery(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := sys.RunStreamQuery(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := drainSorted(t, rows)
+		if !equalRowSets(got, want.Rows) {
+			t.Errorf("%s: factorized stream and Run disagree (%d vs %d rows)", name, len(got), len(want.Rows))
+		}
+		if res := rows.Result(); res != nil && res.Factorized {
+			sawFactorized = true
+		}
+	}
+	if !sawFactorized {
+		t.Error("no query took the factorized path; the gate is not exercising lazy flattening")
+	}
+}
+
+// TestExecutionSharingSingleExecution is the sharing acceptance test:
+// with a leader mid-stream, N concurrent identical calls produce
+// exactly one engine execution, and every caller gets the same rows.
+func TestExecutionSharingSingleExecution(t *testing.T) {
+	ds := lubm.Generate(lubm.Config{Universities: 1, Seed: 1, Compact: true})
+	sys, err := Open(ds, WithNodes(4), WithExecutionSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	const src = `PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		SELECT ?x ?y WHERE { ?x ub:advisor ?y . }`
+
+	leader, err := sys.RunStream(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The entry is in flight until the leader's stream ends; followers
+	// joining now must not execute.
+	const followers = 4
+	var wg sync.WaitGroup
+	results := make([]*ExecResult, followers)
+	errs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sys.Run(context.Background(), src)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.ShareStats().Follows < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never joined: %+v", sys.ShareStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := drainSorted(t, leader)
+	wg.Wait()
+
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d: %v", i, errs[i])
+		}
+		if !equalRowSets(results[i].Rows, want) {
+			t.Fatalf("follower %d rows differ from leader", i)
+		}
+		if !results[i].CacheInfo.SharedExec {
+			t.Errorf("follower %d not marked SharedExec: %s", i, results[i])
+		}
+		if !strings.Contains(results[i].String(), "exec=shared") {
+			t.Errorf("follower %d String() misses exec=shared: %s", i, results[i])
+		}
+	}
+	st := sys.ShareStats()
+	if st.Leads != 1 || st.Follows != followers || st.Fallbacks != 0 || st.Aborted != 0 {
+		t.Fatalf("share counters = %+v, want 1 lead / %d follows", st, followers)
+	}
+}
+
+// TestExecutionSharingFallback: a follower whose leader errors out
+// before publishing anything silently re-executes.
+func TestExecutionSharingFallback(t *testing.T) {
+	ds := NewDataset()
+	for i := 0; i < 50; i++ {
+		ds.Add(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i%7))
+	}
+	sys, err := Open(ds, WithNodes(2), WithExecutionSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	const src = `SELECT * WHERE { ?s <p> ?o . }`
+	leader, err := sys.RunStream(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *ExecResult, 1)
+	go func() {
+		res, err := sys.Run(context.Background(), src)
+		if err != nil {
+			t.Errorf("fallback Run: %v", err)
+		}
+		done <- res
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.ShareStats().Follows < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never joined: %+v", sys.ShareStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Abandon the leader before it publishes a single chunk: the
+	// follower consumed nothing, so it must fall back, not fail.
+	leader.Close()
+	select {
+	case res := <-done:
+		if res != nil && res.CacheInfo.SharedExec {
+			t.Error("fallback result still marked SharedExec")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never completed after leader abandon")
+	}
+	if st := sys.ShareStats(); st.Fallbacks != 1 {
+		t.Fatalf("share counters = %+v, want 1 fallback", st)
+	}
+}
+
+// TestStreamBoundedMemory is the memory acceptance test: a result too
+// big for the per-query budget fails the materializing path with a
+// typed budget error, and streams to completion on RunStream under the
+// same budget.
+func TestStreamBoundedMemory(t *testing.T) {
+	ds := NewDataset()
+	for i := 0; i < 300; i++ {
+		for j := 0; j < 300; j++ {
+			ds.Add(fmt.Sprintf("a%d", i), "n", fmt.Sprintf("b%d", j))
+		}
+	}
+	// One node makes the root scan dedup-free, so the stream retains
+	// one chunk, no seen-set.
+	sys, err := Open(ds, WithNodes(1), WithMemoryBudget(1<<21, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	const src = `SELECT * WHERE { ?a <n> ?b . }`
+	if _, err := sys.Run(context.Background(), src); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("materializing Run under budget = %v, want budget trip", err)
+	}
+	rows, err := sys.RunStream(context.Background(), src)
+	if err != nil {
+		t.Fatalf("RunStream under the same budget: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("stream failed: %v", err)
+	}
+	if n != 300*300 {
+		t.Fatalf("streamed %d rows, want %d", n, 300*300)
+	}
+}
+
+// TestStreamLimit: WithLimit caps both paths on the same prefix of the
+// deterministic emission order.
+func TestStreamLimit(t *testing.T) {
+	ds := NewDataset()
+	for i := 0; i < 100; i++ {
+		ds.Add(fmt.Sprintf("s%02d", i), "p", "o")
+	}
+	sys, err := Open(ds, WithNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	const src = `SELECT * WHERE { ?s <p> ?o . }`
+	res, err := sys.Run(context.Background(), src, WithLimit(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 || res.RowCount() != 7 {
+		t.Fatalf("limited Run returned %d rows (RowCount %d), want 7", len(res.Rows), res.RowCount())
+	}
+	rows, err := sys.RunStream(context.Background(), src, WithLimit(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainSorted(t, rows)
+	if !equalRowSets(got, res.Rows) {
+		t.Fatal("limited stream and limited Run disagree")
+	}
+	sres := rows.Result()
+	if sres.Returned != 7 {
+		t.Fatalf("stream Returned = %d, want 7", sres.Returned)
+	}
+	if s := res.String(); !strings.HasPrefix(s, "7 rows") {
+		t.Fatalf("ExecResult.String() = %q, want \"7 rows\" prefix", s)
+	}
+	// A streamed result has no materialized Rows; String must still
+	// report the delivered count, not 0.
+	if s := sres.String(); !strings.HasPrefix(s, "7 rows") {
+		t.Fatalf("streamed ExecResult.String() = %q, want \"7 rows\" prefix", s)
+	}
+}
+
+// TestStreamCancelMidway: canceling the context mid-stream surfaces an
+// error on the cursor and still finalizes the call.
+func TestStreamCancelMidway(t *testing.T) {
+	ds := NewDataset()
+	for i := 0; i < 3000; i++ {
+		ds.Add(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i))
+	}
+	sys, err := Open(ds, WithNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := sys.RunStream(ctx, `SELECT * WHERE { ?s <p> ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if rows.Err() == nil {
+		t.Fatal("canceled stream ended cleanly")
+	}
+	if err := rows.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamScan: Scan decodes the current row through the dictionary.
+func TestStreamScan(t *testing.T) {
+	ds := NewDataset()
+	ds.Add("alice", "knows", "bob")
+	sys, err := Open(ds, WithNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rows, err := sys.RunStream(context.Background(), `SELECT ?a ?b WHERE { ?a <knows> ?b . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	dst := make([]string, len(rows.Vars()))
+	if err := rows.Scan(dst); err == nil {
+		t.Fatal("Scan before Next must fail")
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows: %v", rows.Err())
+	}
+	if err := rows.Scan(dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != "alice" || dst[1] != "bob" {
+		t.Fatalf("Scan = %v", dst)
+	}
+}
+
+// TestStreamSlowLogRowCount: satellite 2 — a streamed call's slow-log
+// entry reports the delivered row count, not a materialized length.
+func TestStreamSlowLogRowCount(t *testing.T) {
+	ds := NewDataset()
+	for i := 0; i < 20; i++ {
+		ds.Add(fmt.Sprintf("s%d", i), "p", "o")
+	}
+	sys, err := Open(ds, WithNodes(2),
+		WithObservability(WithSlowQueryLog(8, 0))) // threshold 0: log everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rows, err := sys.RunStream(context.Background(), `SELECT * WHERE { ?s <p> ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries := sys.SlowQueries()
+	if len(entries) == 0 {
+		t.Fatal("no slow-log entry for the streamed call")
+	}
+	if entries[0].Rows != n {
+		t.Fatalf("slow-log Rows = %d, streamed %d", entries[0].Rows, n)
+	}
+	if !strings.Contains(entries[0].String(), fmt.Sprintf("rows=%d", n)) {
+		t.Fatalf("slow-log line %q misses rows=%d", entries[0].String(), n)
+	}
+}
