@@ -51,16 +51,17 @@ obs:
 
 # The resilience gate: a doubled, race-instrumented run of the chaos
 # suite (64 goroutines injecting deterministic faults into a shared
-# System) plus a short sweep over extra fault-injection seeds — both
-# for the serving mix and for the mixed read/write pass that panics
-# the write-apply path (rdf/snapshot). The suites read CHAOS_SEED, so
-# a failing seed reproduces with
+# System) plus a short sweep over extra fault-injection seeds — for
+# the serving mix, for the mixed read/write pass that panics the
+# write-apply path (rdf/snapshot), and for the node-failover storm
+# that kills nodes under cached reads and recovery migrations. The
+# suites read CHAOS_SEED, so a failing seed reproduces with
 # `CHAOS_SEED=n go test -run TestChaosServing -race .` (or
-# TestChaosIngest).
+# TestChaosIngest / TestChaosFailover).
 chaos:
 	$(GO) test -run 'TestChaos' -race -count=2 .
 	for seed in 2 3 7; do \
-		CHAOS_SEED=$$seed $(GO) test -run 'TestChaosServing|TestChaosIngest' -race . || exit 1; \
+		CHAOS_SEED=$$seed $(GO) test -run 'TestChaosServing|TestChaosIngest|TestChaosFailover' -race . || exit 1; \
 	done
 
 bench:
@@ -75,6 +76,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkExecute -benchtime=1x .
 	$(GO) run ./cmd/benchrunner -experiment adaptive -quick -adaptivejson ''
 	$(GO) run ./cmd/benchrunner -experiment ingest -quick -ingestjson ''
+	$(GO) run ./cmd/benchrunner -experiment failover -quick -failoverjson ''
 
 # The HTTP serving gate: a race-instrumented pass over the SPARQL
 # protocol conformance suite, then the smoke test — one server on a

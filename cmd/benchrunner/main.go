@@ -9,7 +9,8 @@
 //	             table3 | table4 | table5 | table6 | table7 |
 //	             fig6 | fig7 | fig8 | fig7and8 | ablation | costcheck |
 //	             engine | plancache | obsoverhead | overload |
-//	             factorized | adaptive | ingest | serving | all
+//	             factorized | adaptive | ingest | serving | failover |
+//	             all
 //	             (default all; ablation is this repo's extra study of
 //	             the TD-CMDP pruning rules; engine profiles end-to-end
 //	             execution and writes BENCH_engine.json; plancache
@@ -25,7 +26,11 @@
 //	             repeating hot workload through a static and an
 //	             advisor-enabled system, reporting steady-state shuffle
 //	             volume, warm p99, replication cost and cold-query
-//	             regression, and writes BENCH_adaptive.json)
+//	             regression, and writes BENCH_adaptive.json; failover
+//	             kills one node mid-workload against a failover-enabled
+//	             system and a twin without it, reporting success rate,
+//	             degraded p99, recovery re-replication and time to full
+//	             service, and writes BENCH_failover.json)
 //	-timeout     per-optimizer-run cap (default 600s, the paper's cap;
 //	             timed-out cells print N/A)
 //	-quick       shrink datasets and instance counts for a fast pass
@@ -48,6 +53,8 @@
 //	             (default BENCH_adaptive.json; empty disables the file)
 //	-ingestjson  output path of the serving-under-ingest profile
 //	             (default BENCH_ingest.json; empty disables the file)
+//	-failoverjson  output path of the node-failover experiment (default
+//	             BENCH_failover.json; empty disables the file)
 //	-servingjson output path of the HTTP serving profile: streaming vs
 //	             materializing responses over real sockets (p50/p99 and
 //	             peak heap per mode) plus duplicate-query coalescing
@@ -88,6 +95,7 @@ func main() {
 		adaptJSON    = flag.String("adaptivejson", "BENCH_adaptive.json", "adaptive-repartitioning profile output path (empty = no file)")
 		ingestJSON   = flag.String("ingestjson", "BENCH_ingest.json", "serving-under-ingest profile output path (empty = no file)")
 		servingJSON  = flag.String("servingjson", "BENCH_serving.json", "HTTP serving profile output path (empty = no file)")
+		failJSON     = flag.String("failoverjson", "BENCH_failover.json", "node-failover experiment output path (empty = no file)")
 		metrics      = flag.Bool("metrics", false, "append a metrics snapshot to serving-path experiments")
 	)
 	flag.Parse()
@@ -124,8 +132,9 @@ func main() {
 		"adaptive":    func(cfg bench.Config) error { return bench.AdaptiveBench(cfg, *adaptJSON) },
 		"ingest":      func(cfg bench.Config) error { return bench.IngestBench(cfg, *ingestJSON) },
 		"serving":     func(cfg bench.Config) error { return bench.ServingBench(cfg, *servingJSON) },
+		"failover":    func(cfg bench.Config) error { return bench.FailoverBench(cfg, *failJSON) },
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized", "adaptive", "ingest", "serving"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig6", "fig7and8", "ablation", "costcheck", "qerror", "engine", "plancache", "obsoverhead", "overload", "factorized", "adaptive", "ingest", "serving", "failover"}
 
 	run := func(name string) {
 		start := time.Now()

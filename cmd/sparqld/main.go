@@ -33,6 +33,12 @@
 //	-slowlog    slow-query threshold feeding /debug/slowlog (0 with
 //	            -debug logs every query)
 //	-adaptive / -decay-half-life  adaptive repartitioning advisor
+//	-failover   node fault domains: per-node health breakers, retries
+//	            with backoff, replica failover for dead nodes' scans;
+//	            unreplicated dead fragments fail fast as 503 with
+//	            Retry-After, /healthz reports per-node breaker state,
+//	            and with -adaptive sustained failure triggers recovery
+//	            re-replication
 //	-debug      expose /debug/slowlog and /debug/trace
 //	-materialize  serve through Run instead of RunStream (the A/B
 //	            comparator used by the serving benchmark)
@@ -82,6 +88,7 @@ func main() {
 		maxLimit     = flag.Int64("max-limit", 0, "cap on the client-requested limit (0 = no cap)")
 		slowlog      = flag.Duration("slowlog", 0, "slow-query threshold for /debug/slowlog")
 		adaptive     = flag.Bool("adaptive", false, "enable the adaptive repartitioning advisor")
+		failover     = flag.Bool("failover", false, "enable node health tracking and replica failover")
 		decay        = flag.Int("decay-half-life", 0, "advisor accumulator half-life in observed queries (with -adaptive)")
 		debug        = flag.Bool("debug", false, "expose /debug/slowlog and /debug/trace")
 		materialize  = flag.Bool("materialize", false, "serve through Run instead of RunStream")
@@ -94,7 +101,7 @@ func main() {
 		maxConcurrent: *maxConc, maxQueued: *maxQueued, memBudget: *memBudget,
 		timeout: *timeout, maxTimeout: *maxTimeout, limit: *limit, maxLimit: *maxLimit,
 		slowlog: *slowlog, adaptive: *adaptive, decayHalfLife: *decay,
-		debug: *debug, materialize: *materialize,
+		failover: *failover, debug: *debug, materialize: *materialize,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqld:", err)
 		os.Exit(1)
@@ -114,6 +121,7 @@ type serveConfig struct {
 	slowlog                             time.Duration
 	adaptive                            bool
 	decayHalfLife                       int
+	failover                            bool
 	debug, materialize                  bool
 }
 
@@ -152,6 +160,9 @@ func run(cfg serveConfig) error {
 		opts = append(opts, sparqlopt.WithAdaptivePartitioning(sparqlopt.AdaptiveConfig{
 			DecayHalfLife: cfg.decayHalfLife,
 		}))
+	}
+	if cfg.failover {
+		opts = append(opts, sparqlopt.WithNodeFailover(sparqlopt.NodeFailoverConfig{}))
 	}
 	// The daemon always carries the metrics registry — /metrics is an
 	// endpoint, not an option; the slow-query log feeds /debug/slowlog.

@@ -94,6 +94,11 @@ type Result struct {
 	// "optimizer: TD-CMD failed (budget), retried with TD-CMDP" or
 	// "plan cache: lookup failed, bypassed". Empty on a clean run.
 	Degraded []string
+	// Failovers counts node operations this run served via failover —
+	// scans answered from replicas of a dead node's fragment, scatter
+	// partitions re-homed off a dead node. 0 on a healthy run; every
+	// failover also appends a Degraded note.
+	Failovers int64
 	// Factorized reports that the root operator ran the factorizing
 	// hash-join path: its intermediate was an answer graph (column
 	// groups + link vectors) flattened only at projection, instead of
@@ -197,6 +202,10 @@ type ExecEnv struct {
 	// snapshot, statistics epoch and store view together) captures
 	// Engine.Snapshot() itself and passes it here.
 	Snap *Snap
+	// fo is the execution's node-failure memory (dead set + failover
+	// count), created by ExecuteStream when the engine has a failover
+	// policy. nil otherwise; all methods are nil-safe.
+	fo *failoverState
 }
 
 // maxDeltaChunks bounds the broadcast-ingest delta chunk list: when a
@@ -279,6 +288,12 @@ type Engine struct {
 	sem chan struct{}
 	// inst is the optional metrics bundle; nil disables recording.
 	inst *Instruments
+	// fo is the node-failover policy; nil disables the failover ladder
+	// (node faults then fail queries immediately — see nodeGate).
+	fo *FailoverPolicy
+	// avail caches the live-replica membership set of the most recent
+	// (snapshot, dead set) pair a failover scan needed.
+	avail atomic.Pointer[availEntry]
 }
 
 // New builds an engine over the placement produced by a partitioning
@@ -542,7 +557,7 @@ func (e *Engine) eval(ctx context.Context, p *plan.Node, q *sparql.Query, env Ex
 	start := time.Now()
 	switch p.Alg {
 	case plan.Scan:
-		out, err = e.scan(p.TP, q, env, m, tr)
+		out, err = e.scan(ctx, p.TP, q, env, m, tr)
 	case plan.LocalJoin, plan.BroadcastJoin, plan.RepartitionJoin:
 		out, err = e.joinOp(ctx, p, q, env, m, tr, &start)
 	default:
@@ -630,7 +645,7 @@ func (e *Engine) perNodeErr(n int, f func(node int) error) error {
 	return nil
 }
 
-func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode) ([]*Relation, error) {
+func (e *Engine) scan(ctx context.Context, tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *TraceNode) ([]*Relation, error) {
 	bp := bindPattern(e.dict, q.Patterns[tp])
 	stores := env.Snap.stores
 	out := make([]*Relation, len(stores))
@@ -645,8 +660,22 @@ func (e *Engine) scan(tp int, q *sparql.Query, env ExecEnv, m *Metrics, tr *Trac
 		local := bp
 		var count int64
 		local.scanned = &count
-		out[node] = stores[node].match(local)
+		down, err := e.nodeGate(ctx, node, faultinject.NodeScan(node), "scan", env)
+		if err != nil {
+			return err
+		}
+		if down {
+			rel, err := e.failoverScan(node, local, env, nil)
+			if err != nil {
+				return err
+			}
+			out[node] = rel
+		} else {
+			out[node] = stores[node].match(local)
+		}
 		if len(deltaRows) > 0 {
+			// Delta rows survive any node's death — the broadcast chunks
+			// are replicated to every node by construction.
 			out[node].Rows = append(out[node].Rows, deltaRows...)
 		}
 		atomic.AddInt64(&scanned, count)
@@ -757,11 +786,39 @@ func (e *Engine) alignedScan(ctx context.Context, p *plan.Node, q *sparql.Query,
 		local := bp
 		var count int64
 		local.scanned = &count
-		rel := stores[node].match(local)
-		col := rel.colIndex(joinVar)
+		col := -1
+		for i, v := range local.vars {
+			if v == joinVar {
+				col = i
+			}
+		}
 		if col < 0 {
 			return fmt.Errorf("engine: aligned-scan variable ?%s missing from tp%d", joinVar, p.TP+1)
 		}
+		down, err := e.nodeGate(ctx, node, faultinject.NodeScan(node), "scan", env)
+		if err != nil {
+			return err
+		}
+		if down {
+			// Failover applies the same destination filter before the
+			// coverage check, so rows another node would keep anyway never
+			// demand a replica, and the kept rows land in the same order
+			// the healthy scan emits them: base, overlay, delta.
+			keep := func(row []rdf.TermID) bool { return int(uint64(row[col])%uint64(n)) == node }
+			rel, err := e.failoverScan(node, local, env, keep)
+			if err != nil {
+				return err
+			}
+			for _, row := range deltaRows {
+				if keep(row) {
+					rel.Rows = append(rel.Rows, row)
+				}
+			}
+			out[node] = rel
+			atomic.AddInt64(&scanned, count)
+			return rel.chargeTo(env.Gauge, "scan")
+		}
+		rel := stores[node].match(local)
 		if ov := env.Snap.overlay(node); ov != nil {
 			// Migrated copies live only in the overlay, invisible to
 			// normal scans; an aligned scan must see them — they are
@@ -1075,6 +1132,19 @@ func (e *Engine) evalFactorizedRoot(ctx context.Context, p *plan.Node, q *sparql
 // would blow the budget fails before materializing.
 func (e *Engine) scatter(ctx context.Context, frags []*Relation, col int, env ExecEnv) ([]*Relation, int64, error) {
 	n := len(env.Snap.stores)
+	// Offer each destination node its partition. A dead node's bucket is
+	// pure computation over rows already fetched from live nodes, so any
+	// healthy worker re-homes it — the failover is recorded and the
+	// shuffle proceeds unchanged, bit-identical to the healthy run.
+	for node := 0; node < n; node++ {
+		down, err := e.nodeGate(ctx, node, faultinject.NodeShuffle(node), "shuffle", env)
+		if err != nil {
+			return nil, 0, err
+		}
+		if down {
+			env.fo.recordFailover()
+		}
+	}
 	counts := make([]int, n)
 	for _, f := range frags {
 		for _, row := range f.Rows {

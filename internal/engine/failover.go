@@ -1,0 +1,349 @@
+package engine
+
+// Node failure as a first-class, injectable fault domain.
+//
+// A "node" here is one simulated computing node: a base fragment
+// store, an optional migration overlay, and a share of every shuffle.
+// The fault-injection sites node/<i>/scan and node/<i>/shuffle stand
+// in for the node's process or link dying: while one fires, every
+// contact with that node on the corresponding path fails.
+//
+// The failure ladder, per node operation:
+//
+//  1. Breaker check. If the node's health breaker is Open, skip the
+//     contact entirely — no retries, no sleeps — and go straight to
+//     failover. A dead node costs queries nothing once the breaker
+//     has tripped, and queries that cannot carry a fault set (HTTP
+//     requests) still exercise the failover path deterministically.
+//  2. Retry with capped exponential backoff (resilience.Backoff,
+//     cancellable sleeps), re-asking the fault site each attempt so a
+//     transient blip recovers without declaring the node dead. Every
+//     attempt's outcome feeds the breaker.
+//  3. Failover. The node joins the execution's dead set, and its share
+//     of the operation is served without it:
+//
+//     Scans read the dead node's fragment *manifest* — the snapshot's
+//     immutable store, standing in for the placement metadata a real
+//     coordinator keeps — and verify every matched triple has a live
+//     copy: on a healthy node's base fragment or overlay (the avail
+//     set), or in the broadcast ingest delta (replicated everywhere by
+//     construction). Covered scans emit exactly the rows the healthy
+//     run would have — bit-identical by construction, because base,
+//     overlay and delta are pairwise disjoint per node and the aligned
+//     filter keeps one copy globally (see alignedScan) — while a scan
+//     that matches even one uncovered triple fails fast with a typed
+//     *resilience.UnavailableError. Never a hang, never a silent
+//     partial result.
+//
+//     Shuffles re-home the dead node's partition: scatter buckets are
+//     pure computation over inputs already fetched from live nodes, so
+//     any healthy worker can own the bucket. The failover is recorded
+//     but always succeeds.
+//
+// Join compute needs no ladder of its own: by the time a join runs,
+// all data movement has happened, and the per-node join worker is
+// re-homeable computation exactly like a shuffle bucket.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sparqlopt/internal/obs"
+	"sparqlopt/internal/rdf"
+	"sparqlopt/internal/resilience"
+	"sparqlopt/internal/resilience/faultinject"
+	"sparqlopt/internal/resilience/health"
+)
+
+// FailoverPolicy enables node-failure handling. Set it with
+// Engine.SetFailover; a nil policy (the default) disables the ladder —
+// a firing node fault then fails the query immediately with a typed
+// *resilience.UnavailableError and no replica is consulted (the
+// no-failover twin the benchmarks compare against).
+type FailoverPolicy struct {
+	// Health is the per-node breaker the ladder feeds and consults.
+	// Optional: nil disables breaker fast-failing (every operation
+	// pays its retries).
+	Health *health.Tracker
+	// MaxAttempts is how many times a node operation is tried before
+	// the node is declared dead for the execution (< 1 means 1).
+	MaxAttempts int
+	// Backoff paces the retries. The zero value retries immediately.
+	Backoff resilience.Backoff
+}
+
+// failoverState is one execution's failure memory: which nodes were
+// declared dead (by what), and how many node operations failed over.
+// It is created per ExecuteStream call and shared by the run's
+// concurrent per-node workers.
+type failoverState struct {
+	mu        sync.Mutex
+	dead      map[int]string // node -> what declared it ("scan", "shuffle", "breaker open")
+	failovers int64
+}
+
+func (st *failoverState) isDead(node int) bool {
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	_, ok := st.dead[node]
+	st.mu.Unlock()
+	return ok
+}
+
+func (st *failoverState) markDead(node int, via string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if st.dead == nil {
+		st.dead = make(map[int]string)
+	}
+	if _, ok := st.dead[node]; !ok {
+		st.dead[node] = via
+	}
+	st.mu.Unlock()
+}
+
+func (st *failoverState) recordFailover() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.failovers++
+	st.mu.Unlock()
+}
+
+// deadNodes returns the execution's dead set, ascending.
+func (st *failoverState) deadNodes() []int {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	nodes := make([]int, 0, len(st.dead))
+	for n := range st.dead {
+		nodes = append(nodes, n)
+	}
+	st.mu.Unlock()
+	sort.Ints(nodes)
+	return nodes
+}
+
+// summary returns the failover count and the degradation-ladder notes
+// (one per dead node, ascending, so the output is schedule-invariant).
+func (st *failoverState) summary() (int64, []string) {
+	if st == nil {
+		return 0, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.dead) == 0 {
+		return st.failovers, nil
+	}
+	nodes := make([]int, 0, len(st.dead))
+	for n := range st.dead {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	notes := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		notes = append(notes, fmt.Sprintf("failover: node %d down (%s), served from replicas", n, st.dead[n]))
+	}
+	return st.failovers, notes
+}
+
+// SetFailover installs (or, with nil, removes) the engine's node-
+// failover policy. It must not be called concurrently with Execute.
+func (e *Engine) SetFailover(p *FailoverPolicy) { e.fo = p }
+
+// nodeGate simulates contacting node for one kind of operation
+// ("scan" or "shuffle") at the given fault site. It returns down=true
+// when the node must be treated as dead and the operation served via
+// failover. With no failover policy a firing fault is a hard, typed
+// error instead. err is non-nil only for cancellation or that
+// no-failover failure.
+func (e *Engine) nodeGate(ctx context.Context, node int, site faultinject.Site, kind string, env ExecEnv) (down bool, err error) {
+	fo := e.fo
+	if fo == nil {
+		if env.Faults.Should(site) {
+			// Failover disabled: node death is immediately fatal to the
+			// query — the failure mode the failover bench's twin exhibits.
+			return false, &resilience.UnavailableError{Nodes: []int{node}, Op: kind}
+		}
+		return false, nil
+	}
+	st := env.fo
+	if st.isDead(node) {
+		// Already declared dead by an earlier operation of this
+		// execution: don't pay the retries again.
+		return true, nil
+	}
+	if !fo.Health.Allow(node) {
+		st.markDead(node, "breaker open")
+		return true, nil
+	}
+	attempts := fo.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for a := 0; ; a++ {
+		if !env.Faults.Should(site) {
+			fo.Health.ReportSuccess(node)
+			return false, nil
+		}
+		fo.Health.ReportFailure(node)
+		if a+1 >= attempts {
+			st.markDead(node, kind)
+			return true, nil
+		}
+		if d := fo.Backoff.Delay(a); d > 0 {
+			// Backoff sleeps stay cancellable: a deadline firing mid-retry
+			// aborts the query like any other timeout.
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return false, obs.Canceled(ctx, "failover")
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// availEntry caches the live-replica membership set for one
+// (snapshot, dead set) pair: the union of every healthy node's base
+// fragment and overlay. Executions hitting the same outage reuse it;
+// a snapshot swap or a different dead set rebuilds.
+type availEntry struct {
+	snap *Snap
+	key  string
+	m    map[rdf.Triple]struct{}
+}
+
+// availFor returns the set of triples with at least one live copy,
+// given the dead node set. The broadcast ingest delta is excluded on
+// purpose: delta triples are replicated to every node and never
+// appear in base fragments or overlays, so scans of a dead node never
+// need them checked (matchChecked only sees store triples).
+func (e *Engine) availFor(snap *Snap, dead []int) map[rdf.Triple]struct{} {
+	key := fmt.Sprint(dead)
+	if cur := e.avail.Load(); cur != nil && cur.snap == snap && cur.key == key {
+		return cur.m
+	}
+	isDead := make(map[int]bool, len(dead))
+	for _, n := range dead {
+		isDead[n] = true
+	}
+	size := 0
+	for node, st := range snap.stores {
+		if !isDead[node] {
+			size += len(st.triples)
+		}
+	}
+	m := make(map[rdf.Triple]struct{}, size)
+	for node, st := range snap.stores {
+		if isDead[node] {
+			continue
+		}
+		for _, t := range st.triples {
+			m[t] = struct{}{}
+		}
+		if ov := snap.overlay(node); ov != nil {
+			for _, t := range ov.triples {
+				m[t] = struct{}{}
+			}
+		}
+	}
+	e.avail.Store(&availEntry{snap: snap, key: key, m: m})
+	return m
+}
+
+// matchChecked is store.match against a dead node's fragment manifest:
+// identical candidate selection and row production, but each matched
+// row must clear two extra gates — keep (nil = keep all; the aligned
+// scan's destination filter) and then membership of its triple in
+// avail. missing counts kept rows whose triple has no live replica;
+// when missing is 0 the relation is bit-identical to what the healthy
+// node's match (plus filter) would have produced.
+func (s *store) matchChecked(bp boundPattern, avail map[rdf.Triple]struct{}, keep func([]rdf.TermID) bool) (*Relation, int) {
+	if bp.unknown {
+		return &Relation{Vars: bp.vars}, 0
+	}
+	candidates := s.candidates(bp)
+	if bp.scanned != nil {
+		*bp.scanned += int64(len(candidates))
+	}
+	rel := newRelation(bp.vars, len(candidates))
+	missing := 0
+	var row [3]rdf.TermID
+	for _, i := range candidates {
+		t := s.triples[i]
+		if bp.sConst && t.S != bp.s {
+			continue
+		}
+		if bp.pConst && t.P != bp.p {
+			continue
+		}
+		if bp.oConst && t.O != bp.o {
+			continue
+		}
+		if !fillRow(row[:len(bp.vars)], bp, t) {
+			continue
+		}
+		if keep != nil && !keep(row[:len(bp.vars)]) {
+			continue
+		}
+		if _, ok := avail[t]; !ok {
+			missing++
+			continue
+		}
+		rel.appendCopy(row[:len(bp.vars)])
+	}
+	return rel, missing
+}
+
+// failoverScan serves a dead node's share of a scan from its fragment
+// manifest, verified against live replicas. keep is the aligned scan's
+// destination filter (nil for a normal scan). On full coverage the
+// relation is bit-identical to the healthy node's output; any hole
+// fails fast with a typed *resilience.UnavailableError.
+func (e *Engine) failoverScan(node int, bp boundPattern, env ExecEnv, keep func([]rdf.TermID) bool) (*Relation, error) {
+	avail := e.availFor(env.Snap, env.fo.deadNodes())
+	rel, missing := env.Snap.stores[node].matchChecked(bp, avail, keep)
+	if ov := env.Snap.overlay(node); ov != nil && keep != nil {
+		// Aligned scans also read the node's migration overlay; its
+		// copies need live homes too (their base source could be on
+		// another dead node).
+		ovRel, ovMissing := ov.matchChecked(bp, avail, keep)
+		if err := ovRel.chargeTo(env.Gauge, "scan"); err != nil {
+			return nil, err
+		}
+		rel.Rows = append(rel.Rows, ovRel.Rows...)
+		missing += ovMissing
+	}
+	if missing > 0 {
+		return nil, e.unavailable(env, "scan", missing)
+	}
+	env.fo.recordFailover()
+	return rel, nil
+}
+
+// unavailable builds the typed fail-fast error for a query that
+// touched a dead, unreplicated fragment, with the breaker's next-probe
+// horizon as the retry hint.
+func (e *Engine) unavailable(env ExecEnv, op string, missing int) error {
+	nodes := env.fo.deadNodes()
+	var retry time.Duration
+	if fo := e.fo; fo != nil {
+		for _, n := range nodes {
+			if r := fo.Health.RetryIn(n); r > retry {
+				retry = r
+			}
+		}
+	}
+	return &resilience.UnavailableError{Nodes: nodes, Op: op, Missing: missing, RetryAfter: retry}
+}

@@ -52,6 +52,9 @@ type Instruments struct {
 	// goroutine — the engine's parallelism-utilization signal.
 	ParallelTasks *obs.Counter
 	InlineTasks   *obs.Counter
+	// Failovers counts node operations served via failover (replica
+	// scans of a dead node's fragment, re-homed scatter partitions).
+	Failovers *obs.Counter
 	// PanicsRecovered counts worker panics converted into typed
 	// errors. Registered under the shared resilience family, so the
 	// engine's, the optimizer's and the serving path's recoveries
@@ -82,6 +85,7 @@ func NewInstruments(r *obs.Registry) *Instruments {
 			"Candidate rows enumerated when flattening factorized results at projection."),
 		FactorizedDeferred: r.Counter("engine_factorized_deferred_rows_total",
 			"Logical rows factorized execution never materialized."),
+		Failovers:       r.Counter("engine_failover_total", "Node operations served via failover (replica scans, re-homed shuffles)."),
 		ParallelTasks:   r.Counter("engine_parallel_tasks_total", "Subtree tasks run on a parallel worker."),
 		InlineTasks:     r.Counter("engine_inline_tasks_total", "Subtree tasks run inline (semaphore saturated)."),
 		PanicsRecovered: r.Counter("resilience_panics_recovered_total", resilience.PanicsRecoveredHelp),
@@ -134,6 +138,14 @@ func (i *Instruments) recordFactorized(flat, flattened int64) {
 	if d := flat - flattened; d > 0 {
 		i.FactorizedDeferred.Add(d)
 	}
+}
+
+// recordFailovers folds one execution's failover count in.
+func (i *Instruments) recordFailovers(n int64) {
+	if i == nil || n == 0 {
+		return
+	}
+	i.Failovers.Add(n)
 }
 
 func (i *Instruments) parallelTask() {

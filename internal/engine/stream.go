@@ -292,6 +292,11 @@ func (e *Engine) ExecuteStream(ctx context.Context, p *plan.Node, q *sparql.Quer
 		// e.snap mid-query.
 		env.Snap = e.snap.Load()
 	}
+	if e.fo != nil && env.fo == nil {
+		// Per-execution failure memory: which nodes this run declared
+		// dead, and how many operations failed over because of it.
+		env.fo = &failoverState{}
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
 	}
@@ -325,6 +330,7 @@ func (e *Engine) ExecuteStream(ctx context.Context, p *plan.Node, q *sparql.Quer
 		st.src = &multiEnum{enums: enums}
 		st.trace = trace
 		st.res = &Result{Vars: vars, Metrics: m, Trace: trace, Factorized: true, flatRows: trace.OutputRows}
+		st.res.Failovers, st.res.Degraded = env.fo.summary()
 	} else {
 		parts, trace, err := e.eval(ctx, p, q, env, &m)
 		if err != nil {
@@ -345,6 +351,7 @@ func (e *Engine) ExecuteStream(ctx context.Context, p *plan.Node, q *sparql.Quer
 		st.src = &flatEnum{parts: parts, cols: cols, scratch: make([]rdf.TermID, len(vars))}
 		st.trace = trace
 		st.res = &Result{Vars: vars, Metrics: m, Trace: trace, flatRows: flat}
+		st.res.Failovers, st.res.Degraded = env.fo.summary()
 	}
 	if !dedupFree(p, len(env.Snap.stores), vars, schema) {
 		st.seen = make(map[[2]uint64]struct{})
@@ -454,6 +461,7 @@ func (s *Stream) Finish() {
 		if s.res.Factorized {
 			s.eng.inst.recordFactorized(s.res.flatRows, s.enumerated)
 		}
+		s.eng.inst.recordFailovers(s.res.Failovers)
 	}
 }
 

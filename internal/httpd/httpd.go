@@ -16,15 +16,19 @@
 //	                   algorithm (td-auto, td-cmd, td-cmdp, hgr-td-cmd,
 //	                   greedy).
 //	GET /metrics       Prometheus text exposition (System.WriteMetrics).
-//	GET /healthz       liveness probe.
+//	GET /healthz       liveness probe; with node failover enabled it
+//	                   reports per-node breaker states and degrades to
+//	                   503 while any node's breaker is open.
 //	GET /debug/slowlog with Config.Debug: the slow-query log, one line
 //	                   per entry, newest first.
 //	GET /debug/trace   with Config.Debug: runs ?query= to completion
 //	                   and returns its lifecycle trace tree.
 //
 // Failures map onto the protocol: malformed queries are 400 with the
-// parse offset, admission-control rejections are 503 with a Retry-After
-// hint, per-request deadlines are 504, memory-budget trips are 507. A
+// parse offset, admission-control rejections and dead-node
+// unavailability (sparqlopt.UnavailableError) are 503 with a
+// Retry-After hint, per-request deadlines are 504, memory-budget trips
+// are 507. A
 // failure after the first result byte cannot change the status line
 // anymore; the handler aborts the connection instead of silently
 // truncating a well-formed body.
@@ -80,9 +84,7 @@ func New(sys *sparqlopt.System, cfg Config) *Server {
 	s := &Server{sys: sys, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.Debug {
 		s.mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
 		s.mux.HandleFunc("/debug/trace", s.handleTrace)
@@ -92,6 +94,34 @@ func New(sys *sparqlopt.System, cfg Config) *Server {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz is the probe endpoint. Without node failover it is a
+// pure liveness check ("ok"). With WithNodeFailover it also reflects
+// the cluster's fault domains: any node whose breaker is open degrades
+// the probe to 503 so load balancers can drain the instance, and the
+// body lists every node's breaker state either way.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	nodes := s.sys.NodeHealth()
+	if nodes == nil {
+		io.WriteString(w, "ok\n")
+		return
+	}
+	degraded := false
+	var b strings.Builder
+	for _, st := range nodes {
+		if st.State == sparqlopt.NodeOpen {
+			degraded = true
+		}
+		fmt.Fprintf(&b, "node %d: %s\n", st.Node, st.State)
+	}
+	if degraded {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "degraded\n")
+	} else {
+		io.WriteString(w, "ok\n")
+	}
+	io.WriteString(w, b.String())
 }
 
 // Content types of the protocol.
@@ -299,11 +329,22 @@ func (s *Server) encodeMaterialized(w http.ResponseWriter, enc encoder, res *spa
 func writeError(w http.ResponseWriter, err error) {
 	var pe *sparqlopt.ParseError
 	var oe *sparqlopt.OverloadError
+	var ue *sparqlopt.UnavailableError
 	switch {
 	case errors.As(err, &pe):
 		http.Error(w, "malformed query: "+pe.Error(), http.StatusBadRequest)
 	case errors.As(err, &oe):
 		secs := int(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &ue):
+		// A dead node's unreplicated fragment: the query cannot be
+		// answered until the node recovers or its triples are
+		// re-replicated. The retry hint is the breakers' probe horizon.
+		secs := int(ue.RetryAfter / time.Second)
 		if secs < 1 {
 			secs = 1
 		}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -571,4 +572,69 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
 	}
 	t.Logf("smoke: %d ok, %d overload-rejected, 0 leaked goroutines", ok, rejected)
+}
+
+// TestUnavailableMapsTo503: a query that needs a dead node's
+// unreplicated fragment must surface as 503 with a Retry-After hint —
+// the SPARQL-protocol face of the typed UnavailableError — and
+// /healthz must degrade to 503 naming the open breaker while the node
+// is down, then return to ok once the breaker closes.
+func TestUnavailableMapsTo503(t *testing.T) {
+	var nanos atomic.Int64
+	clock := func() time.Time { return time.Unix(0, nanos.Load()) }
+	// One node: killing it strands every triple, so any query is a
+	// typed unavailable failure while its breaker is open.
+	sys := testSystem(t,
+		sparqlopt.WithNodes(1),
+		sparqlopt.WithNodeFailover(sparqlopt.NodeFailoverConfig{
+			MaxAttempts:        1,
+			BreakerConsecutive: 2,
+			OpenFor:            time.Second,
+			ProbeSuccesses:     1,
+			Clock:              clock,
+		}))
+	srv := newServer(t, sys, Config{})
+
+	if resp, _ := get(t, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while healthy: %d", resp.StatusCode)
+	}
+
+	// Trip node 0's breaker with directly-injected scan faults.
+	faults := sparqlopt.NewFaultSet(1)
+	faults.Arm(sparqlopt.FaultNodeScan(0), 1)
+	for i := 0; i < 3; i++ {
+		sys.Run(context.Background(), orgQuery, sparqlopt.WithFaultInjection(faults))
+	}
+	if st := sys.NodeHealth(); st[0].State != sparqlopt.NodeOpen {
+		t.Fatalf("node 0 breaker = %v, want open", st[0].State)
+	}
+
+	resp, body := get(t, srv.URL+"/sparql?query="+url.QueryEscape(orgQuery))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead-node query: %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 on UnavailableError must carry Retry-After")
+	}
+	if !strings.Contains(string(body), "unavailable") {
+		t.Errorf("503 body %q does not name the failure", body)
+	}
+
+	resp, body = get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with an open breaker: %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "degraded") || !strings.Contains(string(body), "node 0: open") {
+		t.Errorf("healthz body %q should report the open breaker", body)
+	}
+
+	// Past the open window the next query is the half-open probe; it
+	// runs clean, closes the breaker and serving returns to 200/ok.
+	nanos.Store(int64(2 * time.Second))
+	if resp, body := get(t, srv.URL+"/sparql?query="+url.QueryEscape(orgQuery)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe query: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := get(t, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "node 0: healthy") {
+		t.Fatalf("healthz after recovery: %d %q", resp.StatusCode, body)
+	}
 }

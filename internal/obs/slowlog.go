@@ -47,8 +47,12 @@ type SlowQueryEntry struct {
 	// refused to run the query) from queries that ran and failed.
 	Rejected bool
 	// Degraded lists the fallback-ladder steps a successful query took
-	// (cache bypass, algorithm downgrades); empty for the healthy path.
+	// (cache bypass, algorithm downgrades, node failover); empty for
+	// the healthy path.
 	Degraded []string
+	// Failovers counts node operations this query served via failover
+	// (replica scans of dead nodes, re-homed shuffle partitions).
+	Failovers int64
 	// Phases are the top-level trace phases with their durations.
 	Phases []PhaseTiming
 }
@@ -79,6 +83,9 @@ func (e SlowQueryEntry) String() string {
 	}
 	if len(e.Degraded) > 0 {
 		fmt.Fprintf(&b, " DEGRADED[%s]", strings.Join(e.Degraded, "; "))
+	}
+	if e.Failovers > 0 {
+		fmt.Fprintf(&b, " failovers=%d", e.Failovers)
 	}
 	for _, p := range e.Phases {
 		fmt.Fprintf(&b, " %s=%v", p.Name, p.Dur.Round(time.Microsecond))

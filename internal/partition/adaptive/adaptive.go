@@ -114,6 +114,10 @@ type Stats struct {
 	// ExpiredGroups counts groups dropped by accumulator decay after
 	// cooling below the tracking floor.
 	ExpiredGroups int64
+	// RecoveryMigrations counts committed migration rounds planned by
+	// PlanRecovery (re-replication after sustained node failure) — a
+	// subset of Migrations.
+	RecoveryMigrations int64
 	// DecayHalfLife echoes the effective decay configuration, in
 	// observed queries (0 = decay disabled).
 	DecayHalfLife int
@@ -124,10 +128,15 @@ type Stats struct {
 type Proposal struct {
 	Migration *partition.Migration
 	Alignment *partition.Alignment
-	// Keys are the groups the proposal aligns, hottest first.
+	// Keys are the groups the proposal aligns, hottest first. Empty for
+	// a recovery proposal (recovery copies restore availability, they
+	// do not align any group).
 	Keys []partition.GroupKey
 	// AddCount is the number of triple copies the migration adds.
 	AddCount int64
+	// Recovery marks a PlanRecovery proposal: re-replication of
+	// fragments stranded on dead nodes, not a shuffle-driven alignment.
+	Recovery bool
 }
 
 // groupAcc accumulates one group's observed shuffle volume. The
@@ -388,6 +397,129 @@ func (a *Advisor) PlanMigration(ds *rdf.Dataset, p *partition.Placement) *Propos
 	}
 }
 
+// PlanRecovery computes a re-replication round after sustained node
+// failure: every triple whose placement copies ALL live on dead nodes
+// (an uncovered fragment — queries matching it fail with a typed
+// unavailability error) gets one new copy on a healthy node. Uncovered
+// triples are packed by predicate, hottest observed shuffle volume
+// first with a deterministic tie-break, and accepted while they fit
+// the remaining replication budget; each accepted group lands on the
+// healthy node with the smallest projected fragment. The hard balance
+// rejection of PlanMigration is deliberately not applied — during an
+// outage availability beats balance, and the smallest-fragment target
+// is the balance-aware placement. Returns nil when nothing is
+// uncovered, no healthy node remains, or nothing fits the budget.
+//
+// Like PlanMigration, the advisor's accounting is not advanced here;
+// the caller applies the proposal and then calls Commit (or
+// RecordFailure).
+func (a *Advisor) PlanRecovery(ds *rdf.Dataset, p *partition.Placement, dead []int) *Proposal {
+	if len(dead) == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := p.Nodes
+	isDead := make([]bool, n)
+	for _, d := range dead {
+		if d >= 0 && d < n {
+			isDead[d] = true
+		}
+	}
+	healthy := 0
+	for node := 0; node < n; node++ {
+		if !isDead[node] {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		return nil
+	}
+	// covered = triples with at least one copy on a healthy node; also
+	// reused below to deduplicate uncovered triples seen on several dead
+	// nodes.
+	covered := make(map[rdf.Triple]bool)
+	nodeSizes := make([]int64, n)
+	for node, ts := range p.Triples {
+		nodeSizes[node] = int64(len(ts))
+		if isDead[node] {
+			continue
+		}
+		for _, t := range ts {
+			covered[t] = true
+		}
+	}
+	groups := make(map[rdf.TermID][]rdf.Triple)
+	for node, ts := range p.Triples {
+		if !isDead[node] {
+			continue
+		}
+		for _, t := range ts {
+			if !covered[t] {
+				covered[t] = true
+				groups[t.P] = append(groups[t.P], t)
+			}
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	// Heat per predicate from the shuffle accumulators: the predicates
+	// queries demonstrably touch get their copies back first when the
+	// budget cannot cover everything.
+	heat := make(map[rdf.TermID]float64)
+	for k, g := range a.acc {
+		a.decayLocked(g)
+		heat[k.Pred] += g.bytes
+	}
+	type cand struct {
+		pred rdf.TermID
+		heat float64
+	}
+	cands := make([]cand, 0, len(groups))
+	for pred := range groups {
+		cands = append(cands, cand{pred, heat[pred]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].heat != cands[j].heat {
+			return cands[i].heat > cands[j].heat
+		}
+		return cands[i].pred < cands[j].pred
+	})
+	budget := int64(a.cfg.ReplicationBudget*float64(ds.Snapshot().Len())) - a.added
+	adds := make([][]rdf.Triple, n)
+	var addCount int64
+	for _, c := range cands {
+		ts := groups[c.pred]
+		if int64(len(ts)) > budget {
+			a.stats.SkippedBudget++
+			continue
+		}
+		target := -1
+		for node := 0; node < n; node++ {
+			if isDead[node] {
+				continue
+			}
+			if target < 0 || nodeSizes[node] < nodeSizes[target] {
+				target = node
+			}
+		}
+		adds[target] = append(adds[target], ts...)
+		nodeSizes[target] += int64(len(ts))
+		budget -= int64(len(ts))
+		addCount += int64(len(ts))
+	}
+	if addCount == 0 {
+		return nil
+	}
+	return &Proposal{
+		Migration: &partition.Migration{Adds: adds},
+		Alignment: a.aligned,
+		AddCount:  addCount,
+		Recovery:  true,
+	}
+}
+
 // Commit records a successfully applied proposal: the alignment
 // snapshot advances, the replication budget is spent, and future
 // Observe/PlanMigration calls treat the groups as aligned.
@@ -399,6 +531,9 @@ func (a *Advisor) Commit(p *Proposal) {
 	a.stats.Migrations++
 	a.stats.MigratedTriples += p.AddCount
 	a.stats.AlignedGroups = a.aligned.Len()
+	if p.Recovery {
+		a.stats.RecoveryMigrations++
+	}
 }
 
 // RecordFailure counts a migration round that planned but failed to

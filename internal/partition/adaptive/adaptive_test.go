@@ -247,6 +247,116 @@ func TestPlanMigrationNetOfExisting(t *testing.T) {
 	}
 }
 
+// TestPlanRecoveryCoversDeadNode: after killing one node of an
+// unreplicated placement, the recovery proposal places a copy of every
+// stranded triple on a healthy node, and Commit records it as a
+// recovery round.
+func TestPlanRecoveryCoversDeadNode(t *testing.T) {
+	ds := hotDataset()
+	const nodes = 4
+	base, err := partition.HashSO{}.Partition(ds, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{})
+	const dead = 1
+	prop := a.PlanRecovery(ds, base, []int{dead})
+	if prop == nil {
+		t.Fatal("no recovery proposal for a dead unreplicated node")
+	}
+	if !prop.Recovery || len(prop.Keys) != 0 {
+		t.Fatalf("recovery proposal malformed: Recovery=%v Keys=%v", prop.Recovery, prop.Keys)
+	}
+	if len(prop.Migration.Adds[dead]) != 0 {
+		t.Fatal("recovery placed copies on the dead node")
+	}
+	next, err := base.Migrate(prop.Migration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range base.Triples[dead] {
+		found := false
+		for node := 0; node < nodes; node++ {
+			if node != dead && next.HasTriple(node, tr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("stranded triple %v has no live copy after recovery", ds.String(tr))
+		}
+	}
+	a.Commit(prop)
+	st := a.Stats()
+	if st.RecoveryMigrations != 1 || st.Migrations != 1 || st.MigratedTriples != prop.AddCount {
+		t.Fatalf("stats after recovery commit: %+v", st)
+	}
+	// Already-covered state plans nothing more.
+	if again := a.PlanRecovery(ds, next, []int{dead}); again != nil {
+		t.Fatalf("recovered placement proposed %d more copies", again.AddCount)
+	}
+	// Degenerate inputs: no dead nodes, or no survivors.
+	if a.PlanRecovery(ds, base, nil) != nil {
+		t.Fatal("empty dead set produced a proposal")
+	}
+	if a.PlanRecovery(ds, base, []int{0, 1, 2, 3}) != nil {
+		t.Fatal("all-dead cluster produced a proposal")
+	}
+}
+
+// TestPlanRecoveryBudgetAndHeat: a budget too small for everything
+// recovers the hottest observed predicate first and records the
+// skipped rest; a budget too small for anything yields no proposal.
+func TestPlanRecoveryBudgetAndHeat(t *testing.T) {
+	ds := hotDataset()
+	key := hotKey(t, ds)
+	// An unreplicated placement (HashSO replicates ×2, stranding almost
+	// nothing): adjacent hot/cold pairs land together, so every node
+	// holds a mix of both predicates and killing one strands both.
+	base := &partition.Placement{Nodes: 4, Triples: make([][]rdf.Triple, 4)}
+	for i, tr := range ds.Triples {
+		node := (i / 2) % 4
+		base.Triples[node] = append(base.Triples[node], tr)
+	}
+	const dead = 2
+	var hotStranded, coldStranded int64
+	for _, tr := range base.Triples[dead] {
+		if tr.P == key.Pred {
+			hotStranded++
+		} else {
+			coldStranded++
+		}
+	}
+	if hotStranded == 0 || coldStranded == 0 {
+		t.Fatalf("fragment %d lacks a mix of predicates (hot=%d cold=%d)", dead, hotStranded, coldStranded)
+	}
+	// Budget exactly one hot group: heat must pick "hot" over "cold".
+	a := New(Config{ReplicationBudget: (float64(hotStranded) + 0.5) / float64(ds.Snapshot().Len())})
+	observeHot(a, key, 3)
+	prop := a.PlanRecovery(ds, base, []int{dead})
+	if prop == nil {
+		t.Fatal("no proposal with budget for the hot group")
+	}
+	if prop.AddCount != hotStranded {
+		t.Fatalf("recovered %d copies, want the %d hot ones", prop.AddCount, hotStranded)
+	}
+	for _, adds := range prop.Migration.Adds {
+		for _, tr := range adds {
+			if tr.P != key.Pred {
+				t.Fatalf("budgeted recovery copied cold triple %v before hot ones", ds.String(tr))
+			}
+		}
+	}
+	if a.Stats().SkippedBudget == 0 {
+		t.Fatal("skipped cold group not recorded")
+	}
+	// Budget below any group: nothing fits.
+	b := New(Config{ReplicationBudget: 1e-9})
+	if prop := b.PlanRecovery(ds, base, []int{dead}); prop != nil {
+		t.Fatalf("zero budget still proposed %d copies", prop.AddCount)
+	}
+}
+
 // TestConfigDefaults: zero-valued fields take the documented defaults.
 func TestConfigDefaults(t *testing.T) {
 	got := New(Config{}).Config()

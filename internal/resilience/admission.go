@@ -32,6 +32,10 @@ type Admission struct {
 	// lastHeld is an EWMA-free estimate of recent slot hold time in
 	// nanoseconds, updated on release; it seeds the retry-after hint.
 	lastHeld atomic.Int64
+	// rejects counts rejections; it decorrelates the jitter of
+	// concurrent rejected callers so their retries do not land in one
+	// synchronized wave.
+	rejects atomic.Uint64
 }
 
 type waiter struct {
@@ -163,15 +167,21 @@ func (a *Admission) releaseWeight(weight int64) {
 	a.mu.Unlock()
 }
 
-// retryAfter estimates how long a rejected caller should back off:
-// the depth of the line ahead of it times the recent per-query hold
-// time, floored at a small constant so a zero history still spreads
-// retries out.
+// retryAfter estimates how long a rejected caller should back off.
+// The hint scales with the current queue depth: the line ahead drains
+// in FIFO waves of max concurrent slots, each wave taking roughly the
+// recent per-query hold time (floored at a small constant so a zero
+// history still spreads retries out). On top of the depth-scaled
+// estimate it adds up to half a hold time of deterministic jitter,
+// keyed by the rejection count, so a burst of simultaneous rejections
+// does not retry in one synchronized wave that gets rejected again.
 func (a *Admission) retryAfter(queued int64) time.Duration {
 	held := time.Duration(a.lastHeld.Load())
 	if held < 10*time.Millisecond {
 		held = 10 * time.Millisecond
 	}
 	waves := (queued + a.max) / a.max // queue drained in FIFO waves of max
-	return held * time.Duration(waves)
+	d := held * time.Duration(waves)
+	jitter := time.Duration(float64(held) / 2 * unitFloat(splitmix64(a.rejects.Add(1))))
+	return d + jitter
 }

@@ -1,0 +1,67 @@
+package resilience
+
+import "time"
+
+// Backoff computes capped exponential retry delays with deterministic
+// jitter: Delay(attempt) grows as Base·2^attempt up to Cap, scaled
+// into [1/2, 1) of the nominal value by a jitter that is a pure
+// function of (Seed, attempt). Two Backoffs with equal fields produce
+// identical schedules — tests replay retry timing exactly — while
+// different seeds decorrelate concurrent retriers so they do not
+// hammer a recovering node in lockstep. The zero value is a disabled
+// backoff: every delay is 0.
+type Backoff struct {
+	// Base is the nominal delay before the first retry (attempt 0).
+	// Base <= 0 disables the backoff entirely.
+	Base time.Duration
+	// Cap bounds the nominal delay of every attempt. Cap <= 0 means
+	// 32×Base.
+	Cap time.Duration
+	// Seed feeds the jitter.
+	Seed int64
+}
+
+// Delay returns the pause before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 32 * b.Base
+	}
+	d := b.Base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	// Jitter scales the nominal delay into [1/2, 1): full jitter would
+	// let consecutive attempts reorder; half jitter keeps the schedule
+	// monotone per seed while still spreading independent retriers.
+	frac := 0.5 + 0.5*unitFloat(splitmix64(uint64(b.Seed)^uint64(attempt)*0x9e3779b97f4a7c15))
+	j := time.Duration(float64(d) * frac)
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// unitFloat maps a 64-bit hash onto [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// splitmix64 is the SplitMix64 finalizer — one multiply-xorshift
+// round with excellent avalanche, the same mixer the fault-injection
+// sites use. Kept private and dependency-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

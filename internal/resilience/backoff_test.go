@@ -1,0 +1,93 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Base: time.Millisecond, Cap: 50 * time.Millisecond, Seed: 7}
+	b := Backoff{Base: time.Millisecond, Cap: 50 * time.Millisecond, Seed: 7}
+	for i := 0; i < 10; i++ {
+		if a.Delay(i) != b.Delay(i) {
+			t.Fatalf("attempt %d: equal configs disagree: %v vs %v", i, a.Delay(i), b.Delay(i))
+		}
+	}
+	other := Backoff{Base: time.Millisecond, Cap: 50 * time.Millisecond, Seed: 8}
+	var diff bool
+	for i := 0; i < 10; i++ {
+		if a.Delay(i) != other.Delay(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical schedules — jitter is not seeded")
+	}
+}
+
+func TestBackoffExponentialWithinJitterBand(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Cap: time.Second, Seed: 1}
+	for i := 0; i < 8; i++ {
+		nominal := 2 * time.Millisecond << uint(i)
+		got := b.Delay(i)
+		// Jitter scales into [1/2, 1) of the nominal delay.
+		if got < nominal/2 || got >= nominal {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", i, got, nominal/2, nominal)
+		}
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Seed: 3}
+	for i := 0; i < 200; i++ {
+		if got := b.Delay(i); got > 8*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds cap", i, got)
+		}
+	}
+	// Huge attempt numbers must not overflow into negatives.
+	if got := b.Delay(1 << 20); got <= 0 || got > 8*time.Millisecond {
+		t.Errorf("huge attempt: delay %v, want within (0, cap]", got)
+	}
+}
+
+func TestBackoffDefaultCapAndZeroValue(t *testing.T) {
+	var off Backoff
+	if off.Delay(0) != 0 || off.Delay(5) != 0 {
+		t.Error("zero-value Backoff must be disabled (0 delays)")
+	}
+	b := Backoff{Base: time.Millisecond, Seed: 1} // Cap defaults to 32×Base
+	for i := 0; i < 64; i++ {
+		if got := b.Delay(i); got > 32*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds default cap 32ms", i, got)
+		}
+	}
+}
+
+// TestAdmissionRetryAfterScalesWithDepth pins the satellite behavior:
+// the retry-after hint grows with the queue depth ahead of the
+// rejected caller instead of being a constant.
+func TestAdmissionRetryAfterScalesWithDepth(t *testing.T) {
+	a := NewAdmission(4, 0)
+	shallow := a.retryAfter(0)
+	deep := a.retryAfter(40) // ten extra drain waves of 4
+	if shallow <= 0 {
+		t.Fatalf("retryAfter(0) = %v, want > 0", shallow)
+	}
+	if deep <= shallow {
+		t.Errorf("retryAfter(40) = %v not > retryAfter(0) = %v", deep, shallow)
+	}
+	// Depth scaling dominates jitter: 10 extra waves must be at least
+	// 5 hold-times apart even in the worst jitter draw.
+	if deep-shallow < 5*10*time.Millisecond {
+		t.Errorf("depth scaling too weak: Δ = %v over 10 waves", deep-shallow)
+	}
+	// Jitter decorrelates identical rejections without reordering depths.
+	again := a.retryAfter(0)
+	if again == shallow {
+		t.Log("two rejections at equal depth drew equal jitter (possible, just unlikely)")
+	}
+	if again >= deep {
+		t.Errorf("jitter reordered depths: retryAfter(0) = %v ≥ retryAfter(40) = %v", again, deep)
+	}
+}

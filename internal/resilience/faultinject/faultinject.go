@@ -10,10 +10,30 @@
 // schedule, so failures reproduce. There are no build tags and no
 // global state: an un-armed (nil) Set is a handful of nil checks on
 // the hot path, and production code simply never arms one.
+//
+// Every instrumented site is listed in the registry (Sites); the
+// package test walks the repository and fails on any site that
+// bypasses it, so a typo in a site name cannot silently never fire.
+// The catalog:
+//
+//	opt/panic          panic inside an optimizer enumeration worker
+//	opt/budget         memory-budget trip at the optimizer memo
+//	engine/panic       panic inside a per-node join worker
+//	engine/slow        armed delay inside an engine operator
+//	engine/budget      memory-budget trip at an engine operator
+//	plancache/lookup   failed plan-cache lookup (degrades to bypass)
+//	rdf/snapshot       panic while applying a committed write delta
+//	node/<i>/scan      node i fails fragment scans (node death, reads)
+//	node/<i>/shuffle   node i fails to accept scatter partitions
+//
+// The node/<i>/* families are produced by the NodeScan and NodeShuffle
+// constructors and parsed back by NodeSite.
 package faultinject
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +67,45 @@ const (
 	// snapshot meanwhile.
 	RdfSnapshot Site = "rdf/snapshot"
 )
+
+// NodeScan returns the node-scoped fault site of node's fragment-scan
+// path ("node/<i>/scan"): while armed and firing, the node fails to
+// serve scans, as if its process or link were down. The node index is
+// part of the site name, so killing node 3 never perturbs node 2's
+// firing pattern.
+func NodeScan(node int) Site {
+	return Site("node/" + strconv.Itoa(node) + "/scan")
+}
+
+// NodeShuffle returns the node-scoped fault site of node's shuffle
+// path ("node/<i>/shuffle"): while armed and firing, the node fails to
+// accept repartition-join scatter partitions.
+func NodeShuffle(node int) Site {
+	return Site("node/" + strconv.Itoa(node) + "/shuffle")
+}
+
+// NodeSite parses a node-scoped site. It returns the node index and
+// the kind ("scan" or "shuffle"); ok is false for any other site.
+func NodeSite(site Site) (node int, kind string, ok bool) {
+	s := string(site)
+	if !strings.HasPrefix(s, "node/") {
+		return 0, "", false
+	}
+	rest := s[len("node/"):]
+	i := strings.IndexByte(rest, '/')
+	if i <= 0 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(rest[:i])
+	if err != nil || n < 0 || rest[:i] != strconv.Itoa(n) {
+		return 0, "", false
+	}
+	kind = rest[i+1:]
+	if kind != "scan" && kind != "shuffle" {
+		return 0, "", false
+	}
+	return n, kind, true
+}
 
 // Injected is the value carried by injected panics, so tests can tell
 // an injected panic apart from a real one.

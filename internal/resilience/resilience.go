@@ -10,11 +10,17 @@
 //     a per-query and a shared process-wide limit;
 //   - PanicError / CatchPanic: the contract for converting a worker
 //     goroutine's panic into a typed error with the stack attached,
-//     so one poisoned query cannot take the process down.
+//     so one poisoned query cannot take the process down;
+//   - UnavailableError: the typed failure for queries that need data
+//     whose only copies live on dead nodes (see the health subpackage
+//     for the per-node breaker that declares them dead);
+//   - Backoff: capped exponential retry delays with deterministic
+//     jitter, shared by the engine's node-retry path and the
+//     admission queue's retry-after hints.
 //
-// All three fail with typed errors (ErrOverloaded, ErrBudgetExceeded,
-// *PanicError) so callers can distinguish "shed me, retry later" from
-// "this query is broken" without string matching.
+// All guards fail with typed errors (ErrOverloaded, ErrBudgetExceeded,
+// ErrUnavailable, *PanicError) so callers can distinguish "shed me,
+// retry later" from "this query is broken" without string matching.
 package resilience
 
 import (
@@ -84,6 +90,45 @@ func (e *BudgetError) Error() string {
 
 // Is matches the ErrBudgetExceeded sentinel.
 func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// ErrUnavailable is the sentinel matched by errors.Is for queries that
+// touched a dead, unreplicated fragment. The concrete error is
+// *UnavailableError.
+var ErrUnavailable = errors.New("resilience: fragment unavailable")
+
+// UnavailableError reports that a query needed triples whose only
+// copies live on nodes currently considered dead: the engine retried,
+// failed over to replicas, and found at least one matched triple with
+// no live copy. It is a fail-fast error — the query never hangs or
+// returns a silent partial result. It matches ErrUnavailable via
+// errors.Is.
+type UnavailableError struct {
+	// Nodes are the dead nodes the query touched, ascending.
+	Nodes []int
+	// Op is the operation that found the hole ("scan" or "shuffle").
+	Op string
+	// Missing counts matched triples with no live replica (0 when the
+	// breaker rejected the node before any data was consulted).
+	Missing int
+	// RetryAfter hints when a retry could succeed: the earliest time a
+	// dead node's breaker re-probes, or the advisor's re-replication
+	// horizon. Zero when unknown.
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string {
+	msg := fmt.Sprintf("resilience: fragment unavailable: node(s) %v down during %s", e.Nodes, e.Op)
+	if e.Missing > 0 {
+		msg += fmt.Sprintf(", %d matched triple(s) without a live replica", e.Missing)
+	}
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf("; retry after %v", e.RetryAfter)
+	}
+	return msg
+}
+
+// Is matches the ErrUnavailable sentinel.
+func (e *UnavailableError) Is(target error) bool { return target == ErrUnavailable }
 
 // PanicError is a panic recovered from a worker goroutine, converted
 // into an error so the query fails while the process survives. Stack

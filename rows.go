@@ -226,6 +226,7 @@ func (f *finalizer) finish(res *ExecResult, err error) {
 				e.ShuffledBytes = res.ShuffledBytes()
 				e.CacheHit = res.CacheInfo.Hit
 				e.Degraded = res.Degraded
+				e.Failovers = res.Failovers
 			}
 			f.s.obs.slowLog.Record(e)
 		}
@@ -233,6 +234,10 @@ func (f *finalizer) finish(res *ExecResult, err error) {
 	if f.set.TraceSink != nil {
 		f.set.TraceSink(f.tr)
 	}
+	// Sustained node failure is a repartitioning trigger: an open
+	// breaker (or a typed unavailable failure) kicks off a recovery
+	// round that re-replicates the dead nodes' stranded triples.
+	f.s.maybeRecover(err)
 	if f.release != nil {
 		f.release()
 	}
@@ -479,8 +484,10 @@ func (s *System) stream(ctx context.Context, src string, q *Query, set opt.RunSe
 		out := st.Result()
 		out.Opt = res
 		out.CacheInfo = info
-		out.Degraded = degraded
-		if len(degraded) > 0 {
+		// The ladder's own degradations come first, then any failover
+		// notes the engine recorded (node died, served from replicas).
+		out.Degraded = append(degraded, out.Degraded...)
+		if len(out.Degraded) > 0 {
 			s.resInst.QueryDegraded()
 		}
 		bc.SetVars(st.Vars())

@@ -38,7 +38,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sparqlopt/internal/cost"
@@ -54,6 +56,7 @@ import (
 	"sparqlopt/internal/rdf"
 	"sparqlopt/internal/resilience"
 	"sparqlopt/internal/resilience/faultinject"
+	"sparqlopt/internal/resilience/health"
 	"sparqlopt/internal/sparql"
 	"sparqlopt/internal/stats"
 )
@@ -112,9 +115,29 @@ type (
 	// PanicError is a worker panic recovered into an error, stack
 	// included. The panicking query fails; the process survives.
 	PanicError = resilience.PanicError
+	// UnavailableError is the typed fast failure of a query that
+	// touched a dead node's unreplicated fragment; it matches
+	// ErrUnavailable and carries the dead node set and a retry hint.
+	UnavailableError = resilience.UnavailableError
+	// NodeStatus is one simulated node's health as tracked by the
+	// failover breakers (see System.NodeHealth).
+	NodeStatus = health.NodeStatus
+	// NodeState is a node breaker's position in the failure lifecycle:
+	// NodeHealthy, NodeOpen (considered dead) or NodeHalfOpen (probing).
+	NodeState = health.State
 	// FaultSet is a deterministic fault-injection plan for chaos tests:
 	// armed sites fire as a pure function of (seed, site, hit count).
 	FaultSet = faultinject.Set
+	// FaultSite names one instrumented fault-injection point; the
+	// Fault* constants and FaultNodeScan/FaultNodeShuffle produce them.
+	FaultSite = faultinject.Site
+)
+
+// Node breaker states (see NodeState).
+const (
+	NodeHealthy  = health.Healthy
+	NodeOpen     = health.Open
+	NodeHalfOpen = health.HalfOpen
 )
 
 // Typed-failure sentinels of the resilient serving path, for errors.Is.
@@ -123,6 +146,9 @@ var (
 	ErrOverloaded = resilience.ErrOverloaded
 	// ErrBudgetExceeded matches memory-budget trips.
 	ErrBudgetExceeded = resilience.ErrBudgetExceeded
+	// ErrUnavailable matches queries failed fast because a dead node's
+	// fragment had no live replica.
+	ErrUnavailable = resilience.ErrUnavailable
 )
 
 // NewFaultSet returns a deterministic fault-injection plan seeded with
@@ -150,6 +176,20 @@ const (
 	// never lost, and serving continues on the previous snapshot.
 	FaultRdfSnapshot = faultinject.RdfSnapshot
 )
+
+// FaultNodeScan returns the node-scoped site "node/<i>/scan": while
+// armed and firing, node i fails to serve fragment scans, simulating
+// the node's death on the read path. With WithNodeFailover the engine
+// retries, then serves the scan from replicas (or fails fast with a
+// typed *UnavailableError when none cover it); without it the query
+// fails immediately.
+func FaultNodeScan(node int) FaultSite { return faultinject.NodeScan(node) }
+
+// FaultNodeShuffle returns the node-scoped site "node/<i>/shuffle":
+// while armed and firing, node i fails to accept repartition-join
+// scatter partitions; failover re-homes its buckets onto healthy
+// workers.
+func FaultNodeShuffle(node int) FaultSite { return faultinject.NodeShuffle(node) }
 
 // The optimization algorithms of the paper.
 const (
@@ -307,6 +347,9 @@ type System struct {
 	migMu        sync.Mutex        // serializes migration rounds
 	migWG        sync.WaitGroup    // tracks in-flight background migrations
 
+	health    *health.Tracker // nil = node failover disabled
+	recFlight atomic.Bool     // collapses concurrent recovery triggers into one round
+
 	tracker     *stats.Tracker // incremental per-predicate statistics
 	writeMu     sync.Mutex     // serializes write-delta applies onto the serving snapshot
 	pending     []rdf.WriteDelta
@@ -343,6 +386,7 @@ type openConfig struct {
 	adaptive      *AdaptiveConfig
 	scopedOff     bool
 	writeFaults   *FaultSet
+	failover      *NodeFailoverConfig
 }
 
 type obsConfig struct {
@@ -465,6 +509,54 @@ func WithScopedInvalidation(on bool) Option { return func(c *openConfig) { c.sco
 // FlushWrites (or a later successful write) re-drives it. Chaos
 // testing only; nil is a no-op.
 func WithWriteFaultInjection(f *FaultSet) Option { return func(c *openConfig) { c.writeFaults = f } }
+
+// NodeFailoverConfig configures node health tracking and failover.
+// Zero fields take defaults: 3 attempts, 1ms base / 50ms cap backoff,
+// and the health package's breaker defaults (10s window, 5 samples,
+// 50% failure rate, 3 consecutive failures, 1s open, 2 probes).
+type NodeFailoverConfig struct {
+	// MaxAttempts is how many times a failing node operation is tried
+	// (first try included) before the node is declared dead for the
+	// execution and failover kicks in.
+	MaxAttempts int
+	// RetryBase and RetryCap bound the capped exponential backoff
+	// between attempts.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerWindow, BreakerMinSamples and BreakerFailureRate set the
+	// windowed rate trip of each node's breaker; BreakerConsecutive is
+	// the consecutive-failure fast trip.
+	BreakerWindow      time.Duration
+	BreakerMinSamples  int
+	BreakerFailureRate float64
+	BreakerConsecutive int
+	// OpenFor is how long an open breaker rejects the node before
+	// allowing a half-open probe; ProbeSuccesses consecutive successful
+	// probes close it again.
+	OpenFor        time.Duration
+	ProbeSuccesses int
+	// Clock overrides the breakers' time source — deterministic tests
+	// only; nil means time.Now.
+	Clock func() time.Time
+}
+
+// WithNodeFailover makes node failure a first-class fault domain the
+// system survives. Each simulated node gets a health breaker fed by
+// the node-scoped fault sites (FaultNodeScan, FaultNodeShuffle). A
+// node operation that keeps failing past its retries is declared dead
+// for the execution: scans of the dead node's fragment are served from
+// replica copies on healthy nodes — bit-identical to the healthy run
+// whenever every stranded triple has a live copy — and repartition
+// scatter partitions are re-homed onto healthy workers. A query that
+// needs a dead node's unreplicated triples fails fast with a typed
+// *UnavailableError (never a hang or a silent partial result). With
+// WithAdaptivePartitioning also enabled, sustained node failure
+// triggers recovery migrations that re-replicate the dead node's
+// uncovered triples onto healthy nodes, hottest predicates first,
+// under the advisor's replication budget.
+func WithNodeFailover(fc NodeFailoverConfig) Option {
+	return func(c *openConfig) { c.failover = &fc }
+}
 
 // AdaptiveConfig configures the adaptive-repartitioning advisor. Zero
 // fields take defaults: 1 MiB trigger, 3 recurring queries, a
@@ -603,6 +695,35 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 		})
 		s.adaptiveSync = cfg.adaptive.Synchronous
 	}
+	if cfg.failover != nil {
+		fc := cfg.failover
+		s.health = health.New(cfg.nodes, health.Config{
+			Window:              fc.BreakerWindow,
+			MinSamples:          fc.BreakerMinSamples,
+			FailureRate:         fc.BreakerFailureRate,
+			ConsecutiveFailures: fc.BreakerConsecutive,
+			OpenFor:             fc.OpenFor,
+			ProbeSuccesses:      fc.ProbeSuccesses,
+			Now:                 fc.Clock,
+		})
+		attempts := fc.MaxAttempts
+		if attempts <= 0 {
+			attempts = 3
+		}
+		base := fc.RetryBase
+		if base <= 0 {
+			base = time.Millisecond
+		}
+		retryCap := fc.RetryCap
+		if retryCap <= 0 {
+			retryCap = 50 * time.Millisecond
+		}
+		eng.SetFailover(&engine.FailoverPolicy{
+			Health:      s.health,
+			MaxAttempts: attempts,
+			Backoff:     resilience.Backoff{Base: base, Cap: retryCap, Seed: 0x5eedfa11},
+		})
+	}
 	if cfg.obs != nil {
 		r := cfg.obs.registry
 		if r == nil {
@@ -647,9 +768,40 @@ func Open(ds *Dataset, opts ...Option) (*System, error) {
 				func() float64 { return float64(adv.Stats().MigratedTriples) })
 			r.GaugeFunc("adaptive_aligned_groups", "Triple groups currently aligned by the advisor.",
 				func() float64 { return float64(adv.Stats().AlignedGroups) })
+			if s.health != nil {
+				r.GaugeFunc("adaptive_recovery_migrations_total", "Recovery rounds re-replicating dead nodes' triples.",
+					func() float64 { return float64(adv.Stats().RecoveryMigrations) })
+			}
+		}
+		if s.health != nil {
+			hv := s.health
+			for i := 0; i < cfg.nodes; i++ {
+				node := i
+				r.GaugeFunc("node_health",
+					"Per-node breaker state: 1 healthy, 0.5 half-open (probing), 0 open (dead).",
+					func() float64 {
+						switch hv.State(node) {
+						case health.Open:
+							return 0
+						case health.HalfOpen:
+							return 0.5
+						default:
+							return 1
+						}
+					}, obs.Label{Key: "node", Value: strconv.Itoa(node)})
+			}
 		}
 	}
 	return s, nil
+}
+
+// NodeHealth reports each simulated node's breaker state (see
+// WithNodeFailover); nil when node failover is disabled.
+func (s *System) NodeHealth() []NodeStatus {
+	if s.health == nil {
+		return nil
+	}
+	return s.health.Status()
 }
 
 // Method returns the partitioning method in use.
@@ -931,11 +1083,18 @@ func (s *System) migrate() {
 }
 
 func (s *System) migrateLocked() error {
-	placement := s.currentPlacement()
-	prop := s.advisor.PlanMigration(s.ds, placement)
+	prop := s.advisor.PlanMigration(s.ds, s.currentPlacement())
+	return s.applyProposalLocked("migration", prop)
+}
+
+// applyProposalLocked applies one advisor proposal (an adaptive
+// migration or a recovery round) to the placement, the engine and the
+// epoch machinery. Caller holds migMu; a nil proposal is a no-op.
+func (s *System) applyProposalLocked(what string, prop *adaptive.Proposal) error {
 	if prop == nil {
 		return nil
 	}
+	placement := s.currentPlacement()
 	// The transient store rebuilds are charged against the shared
 	// memory budget exactly like query arenas, so a migration can never
 	// OOM a serving node: if queries hold the memory, the round fails
@@ -948,7 +1107,7 @@ func (s *System) migrateLocked() error {
 			touched += int64(len(placement.Triples[node])) + int64(len(adds))
 		}
 	}
-	if err := g.Reserve("migration", touched*migrationTripleBytes); err != nil {
+	if err := g.Reserve(what, touched*migrationTripleBytes); err != nil {
 		return err
 	}
 	next, err := placement.Migrate(prop.Migration)
@@ -962,13 +1121,24 @@ func (s *System) migrateLocked() error {
 	// plans whose shapes touch them were costed under the old placement
 	// and re-optimize; shapes over disjoint predicates keep their plans
 	// (a migration only adds copies of the migrated groups — placement
-	// and costs for everything else are unchanged).
-	preds := make([]rdf.TermID, 0, len(prop.Keys))
+	// and costs for everything else are unchanged). A recovery proposal
+	// has no group keys; its predicates come from the added copies.
 	seen := make(map[rdf.TermID]bool, len(prop.Keys))
+	preds := make([]rdf.TermID, 0, len(prop.Keys))
 	for _, k := range prop.Keys {
 		if !seen[k.Pred] {
 			seen[k.Pred] = true
 			preds = append(preds, k.Pred)
+		}
+	}
+	if len(prop.Keys) == 0 {
+		for _, adds := range prop.Migration.Adds {
+			for _, t := range adds {
+				if !seen[t.P] {
+					seen[t.P] = true
+					preds = append(preds, t.P)
+				}
+			}
 		}
 	}
 	epoch := s.ds.BumpEpochPreds(preds...)
@@ -977,6 +1147,66 @@ func (s *System) migrateLocked() error {
 	s.tracker.Apply(nil, epoch)
 	s.engine.SetData(s.ds.Snapshot())
 	return nil
+}
+
+// maybeRecover is the post-query recovery trigger: when node failover
+// and adaptive partitioning are both enabled and some node's breaker
+// is open (sustained failure) — or a query just failed with a typed
+// UnavailableError naming dead nodes — it kicks off one recovery round
+// that re-replicates the dead nodes' uncovered triples onto healthy
+// nodes, hottest predicates first, within the advisor's replication
+// budget. Concurrent triggers collapse into a single in-flight round.
+func (s *System) maybeRecover(err error) {
+	if s.health == nil || s.advisor == nil {
+		return
+	}
+	dead := s.health.Down()
+	var ue *UnavailableError
+	if errors.As(err, &ue) {
+		seen := make(map[int]bool, len(dead))
+		for _, n := range dead {
+			seen[n] = true
+		}
+		for _, n := range ue.Nodes {
+			if !seen[n] {
+				seen[n] = true
+				dead = append(dead, n)
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	if !s.recFlight.CompareAndSwap(false, true) {
+		return
+	}
+	if s.adaptiveSync {
+		s.recoverRound(dead)
+		return
+	}
+	s.migWG.Add(1)
+	go func() {
+		defer s.migWG.Done()
+		s.recoverRound(dead)
+	}()
+}
+
+// recoverRound plans and applies one recovery migration. Failures are
+// isolated exactly like adaptive migration rounds: serving continues
+// on the old placement (failover still covers whatever replicas
+// exist) and a later trigger retries.
+func (s *System) recoverRound(dead []int) {
+	defer s.recFlight.Store(false)
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	var err error
+	func() {
+		defer resilience.CatchPanic(&err, nil)
+		err = s.applyProposalLocked("recovery", s.advisor.PlanRecovery(s.ds, s.currentPlacement(), dead))
+	}()
+	if err != nil {
+		s.advisor.RecordFailure()
+	}
 }
 
 // AdvisorStats returns the adaptive advisor's counters; the zero
